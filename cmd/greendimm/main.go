@@ -1,0 +1,236 @@
+// Command greendimm regenerates the paper's tables and figures from the
+// simulator. Each experiment id matches DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	greendimm -experiment fig12            # one experiment
+//	greendimm -experiment all -quick       # everything, reduced horizons
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"greendimm/internal/exp"
+	"greendimm/internal/report"
+)
+
+type runner func(exp.Options) ([]*report.Table, []report.Series, error)
+
+var experiments = map[string]runner{
+	"fig1": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig1(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := r.Table()
+		extra := report.NewTable("", "value")
+		extra.AddRow("ksm reduction %", r.KSMReductionFrac()*100)
+		return []*report.Table{t, extra}, r.Series(), nil
+	},
+	"fig2": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig2(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"fig3": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig3(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"fig6": blockSweep, "fig7": blockSweep, "tab2": blockSweep,
+	"fig8": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig8(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		extra := report.NewTable("", "value")
+		extra.AddRow("failure reduction %", r.ReductionFrac()*100)
+		return []*report.Table{r.Table(), extra}, nil, nil
+	},
+	"fig9": energyMatrix, "fig10": energyMatrix, "fig11": energyMatrix,
+	"fig12": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig12(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, r.Series(), nil
+	},
+	"fig13": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunFig13(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"tab1": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunTable1(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"tab3": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunTable3(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"ablations": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunAblations(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.NeighborRule, r.Thresholds, r.GroupSize, r.DPDResidual, r.IdlePolicy}, nil, nil
+	},
+	"tail": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunTailLatency(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		extra := report.NewTable("", "value")
+		extra.AddRow("worst p99 inflation %", r.MaxP99InflationPct())
+		return []*report.Table{r.Table(), extra}, nil, nil
+	},
+	"ramzzz": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunRAMZzz(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+	"hwcost": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunHWCost()
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Register, r.Area}, nil, nil
+	},
+	"swapthr": func(o exp.Options) ([]*report.Table, []report.Series, error) {
+		r, err := exp.RunSwapThreshold(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*report.Table{r.Table()}, nil, nil
+	},
+}
+
+func blockSweep(o exp.Options) ([]*report.Table, []report.Series, error) {
+	r, err := exp.RunBlockSizeSweep(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []*report.Table{r.Fig6Table(), r.Fig7Table(), r.Table2()}, nil, nil
+}
+
+func energyMatrix(o exp.Options) ([]*report.Table, []report.Series, error) {
+	r, err := exp.RunEnergyMatrix(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, dc := r.MeanDRAMSavingsPct()
+	extra := report.NewTable("Headline numbers", "value")
+	extra.AddRow("mean DRAM savings, SPEC %", spec)
+	extra.AddRow("mean DRAM savings, datacenter %", dc)
+	extra.AddRow("max execution overhead %", r.MaxOverheadPct())
+	return []*report.Table{r.Fig9Table(), r.Fig10Table(), r.Fig11Table(), extra}, nil, nil
+}
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
+		quick  = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	opts := exp.Options{Quick: *quick, Seed: *seed}
+
+	ids := []string{*which}
+	if *which == "all" {
+		// Deduplicate the aliases that share one run.
+		ids = []string{"fig1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig12", "fig13", "tab1", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr"}
+	}
+	seen := map[string]bool{}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fn, ok := experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, known())
+			os.Exit(2)
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		fmt.Printf("=== %s ===\n", id)
+		tables, series, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for ti, t := range tables {
+			fmt.Println(t)
+			if *csvDir != "" && t.Rows() > 0 {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, ti))
+				if err := writeCSV(path, t); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
+		}
+		for _, s := range series {
+			fmt.Printf("  %-10s %s\n", s.Name, s.Sparkline(64))
+		}
+		fmt.Println()
+	}
+}
+
+// writeCSV exports one table.
+func writeCSV(path string, t *report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(append([]string{"label"}, t.Columns...)); err != nil {
+		return err
+	}
+	for r := 0; r < t.Rows(); r++ {
+		rec := []string{t.Label(r)}
+		for c := range t.Columns {
+			rec = append(rec, t.Value(r, c))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}
+
+func known() string {
+	var ids []string
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greendimm/internal/report"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := report.NewTable("t", "a", "b")
+	tb.AddRow("x", 1, 2.5)
+	tb.AddRow("y", 3, 4)
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := writeCSV(path, tb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "label,a,b\nx,1,2.5\ny,3,4\n"
+	if string(data) != want {
+		t.Errorf("csv = %q, want %q", data, want)
+	}
+}
+
+func TestKnownListsAllExperiments(t *testing.T) {
+	k := known()
+	for _, id := range []string{"fig1", "fig13", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr"} {
+		if !strings.Contains(k, id) {
+			t.Errorf("known() missing %q: %s", id, k)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package greendimm is a from-scratch reproduction of "GreenDIMM:
+// OS-assisted DRAM Power Management for DRAM with a Sub-array Granularity
+// Power-Down State" (Lee et al., MICRO 2021).
+//
+// The public surface of the repository is the benchmark harness in
+// bench_test.go (one benchmark per table and figure of the paper's
+// evaluation), the cmd/greendimm CLI, and the runnable programs under
+// examples/. The building blocks live under internal/: a DDR4 memory
+// simulator (dram, addr, mc), an IDD-based power model (power), a Linux
+// memory-management model (kernel, hotplug, ksm), workload and VM-trace
+// generators (workload, vmtrace), the GreenDIMM daemon itself (core), the
+// paper's comparison baselines (baseline), and the experiment drivers
+// (exp). See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package greendimm

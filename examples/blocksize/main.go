@@ -1,0 +1,64 @@
+// blocksize explores the paper's §5.1 trade-off on one workload: smaller
+// memory blocks off-line more capacity (finer granularity) but cause more
+// on/off-lining events and more overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"greendimm/internal/core"
+	"greendimm/internal/hotplug"
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "403.gcc", "workload name")
+	seconds := flag.Int("seconds", 120, "simulated run length")
+	flag.Parse()
+	prof, ok := workload.ByName(*app)
+	if !ok {
+		log.Fatalf("unknown app %q", *app)
+	}
+
+	fmt.Printf("%-8s  %-12s  %-10s  %-10s  %-10s\n",
+		"block", "offlined", "offlines", "onlines", "failures")
+	for _, blockMB := range []int64{128, 256, 512} {
+		eng := sim.NewEngine()
+		mem, err := kernel.New(kernel.Config{
+			TotalBytes: 64 << 30, PageBytes: 1 << 20,
+			KernelReservedBytes: 1 << 30, MovableBytes: 4 << 30,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hp, err := hotplug.New(mem, hotplug.Config{BlockBytes: blockMB << 20})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl := core.NewRegisterController(eng, int(64<<30/(128<<20)))
+		daemon, err := core.New(eng, mem, hp, ctrl, core.Config{
+			Period: sim.Second, GroupBytes: 128 << 20,
+			OffThr: 0.10, OnThr: 0.085, OfflinableBytes: 4 << 30,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fd, err := workload.NewFootprintDriver(eng, mem, prof, 50,
+			sim.Time(*seconds)*sim.Second, 500*sim.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fd.Start()
+		daemon.Start()
+		eng.RunUntil(sim.Time(*seconds) * sim.Second)
+		st := daemon.Stats()
+		fmt.Printf("%-8s  %8.2f GB  %-10d  %-10d  %-10d\n",
+			fmt.Sprintf("%dMB", blockMB),
+			daemon.AvgOfflinedBlocks()*float64(hp.BlockBytes())/float64(1<<30),
+			st.Offlines, st.Onlines, st.EBusyFailures+st.EAgainFailures)
+	}
+}

@@ -1,0 +1,125 @@
+// speccpu compares DRAM power management policies on one SPEC-style
+// workload: self-refresh only, RAMZzz, PASR, and GreenDIMM, with and
+// without memory interleaving — a single-application slice of the paper's
+// Figs. 9 and 10.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"greendimm/internal/baseline"
+	"greendimm/internal/core"
+	"greendimm/internal/dram"
+	"greendimm/internal/hotplug"
+	"greendimm/internal/kernel"
+	"greendimm/internal/mc"
+	"greendimm/internal/power"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "462.libquantum", "workload name (see internal/workload)")
+	copies := flag.Int("copies", 8, "concurrent copies")
+	accesses := flag.Int64("accesses", 20000, "DRAM accesses per copy")
+	flag.Parse()
+
+	prof, ok := workload.ByName(*app)
+	if !ok {
+		log.Fatalf("unknown app %q", *app)
+	}
+	model, err := power.NewModel(dram.Org64GB())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-14s  %-12s  %-10s  %-10s  %-10s  %-10s\n",
+		"mapping", "runtime", "srf-only W", "ramzzz W", "pasr W", "greendimm W")
+	for _, interleaved := range []bool{true, false} {
+		runtime, activity, occ := run(prof, interleaved, *copies, *accesses)
+		srf := must(model.FromActivity(activity)).TotalW()
+		ram := must(model.FromActivity(baseline.ApplyRAMZzz(activity, occ))).TotalW()
+		pasr := must(model.FromActivity(baseline.ApplyPASR(activity, occ))).TotalW()
+		gd := activity
+		gd.DPDFrac = greendimmDPD(prof)
+		gdW := must(model.FromActivity(gd)).TotalW()
+		name := "contiguous"
+		if interleaved {
+			name = "interleaved"
+		}
+		fmt.Printf("%-14s  %-12v  %-10.2f  %-10.2f  %-10.2f  %-10.2f\n",
+			name, runtime, srf, ram, pasr, gdW)
+	}
+}
+
+func must(b power.Breakdown, err error) power.Breakdown {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+// run executes the detailed timing simulation.
+func run(prof workload.Profile, interleaved bool, copies int, accesses int64) (sim.Time, power.Activity, baseline.Occupancy) {
+	org := dram.Org64GB()
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: org.TotalBytes(), PageBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := mc.New(eng, mc.Config{
+		Org: org, Timing: dram.DDR4_2133(), Interleaved: interleaved, LowPower: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining := copies
+	for i := 0; i < copies; i++ {
+		c, err := workload.NewCore(eng, mem, ctrl, workload.CoreConfig{
+			Profile: prof, Owner: uint32(100 + i), Accesses: accesses, Seed: int64(i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.OnDone(func() { remaining-- })
+		c.Start()
+	}
+	occ := baseline.Scan(mem, ctrl.Mapper())
+	eng.Run()
+	if remaining != 0 {
+		log.Fatalf("%d copies unfinished", remaining)
+	}
+	ctrl.Finalize()
+	return eng.Now(), ctrl.Activity(), occ
+}
+
+// greendimmDPD estimates the sustained deep-power-down fraction with a
+// fast dynamics pass (no request simulation).
+func greendimmDPD(prof workload.Profile) float64 {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{
+		TotalBytes: 64 << 30, PageBytes: 1 << 20, KernelReservedBytes: 1 << 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hp, err := hotplug.New(mem, hotplug.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := core.NewRegisterController(eng, 64)
+	daemon, err := core.New(eng, mem, hp, ctrl, core.Config{Period: sim.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd, err := workload.NewFootprintDriver(eng, mem, prof, 50, 60*sim.Second, 500*sim.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd.Start()
+	daemon.Start()
+	eng.RunUntil(60 * sim.Second)
+	return daemon.AvgDPDFraction()
+}

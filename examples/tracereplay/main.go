@@ -1,0 +1,92 @@
+// tracereplay demonstrates the controller's trace facility: record a
+// workload's memory-request stream, dump it to a file, replay it against a
+// fresh controller, and verify the replay reproduces the original DRAM
+// behaviour exactly — the workflow for debugging controller or policy
+// changes against a fixed stimulus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/kernel"
+	"greendimm/internal/mc"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+func main() {
+	app := flag.String("app", "429.mcf", "workload to record")
+	out := flag.String("out", "", "write the trace here (default: in-memory only)")
+	accesses := flag.Int64("accesses", 20000, "requests to record")
+	flag.Parse()
+
+	prof, ok := workload.ByName(*app)
+	if !ok {
+		log.Fatalf("unknown app %q", *app)
+	}
+	prof.FootprintMB = 512
+
+	// 1. Record.
+	org := dram.Org64GB()
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: org.TotalBytes(), PageBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := mc.New(eng, mc.Config{Org: org, Timing: dram.DDR4_2133(), Interleaved: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := ctrl.Trace()
+	c, err := workload.NewCore(eng, mem, ctrl, workload.CoreConfig{
+		Profile: prof, Owner: 42, Accesses: *accesses, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Start()
+	eng.Run()
+	ctrl.Finalize()
+	orig := ctrl.Stats()
+	fmt.Printf("recorded %d requests over %v (hits %d, misses %d, conflicts %d)\n",
+		tracer.Len(), c.Runtime(), orig.RowHits, orig.RowMisses, orig.RowConflicts)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.Dump(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s\n", *out)
+	}
+
+	// 2. Replay against a fresh controller.
+	eng2 := sim.NewEngine()
+	ctrl2, err := mc.New(eng2, mc.Config{Org: org, Timing: dram.DDR4_2133(), Interleaved: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := mc.Replay(eng2, ctrl2, tracer.Records())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2.Run()
+	ctrl2.Finalize()
+	rep := ctrl2.Stats()
+	fmt.Printf("replayed %d requests (hits %d, misses %d, conflicts %d)\n",
+		n, rep.RowHits, rep.RowMisses, rep.RowConflicts)
+	if rep.Reads == orig.Reads && rep.Writes == orig.Writes &&
+		rep.Activations == orig.Activations && rep.RowHits == orig.RowHits {
+		fmt.Println("replay matches the original run exactly")
+	} else {
+		fmt.Println("WARNING: replay diverged from the original run")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module greendimm
+
+go 1.22

@@ -1,0 +1,89 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"greendimm/internal/dram"
+)
+
+// TestAllCapacityPresetsRoundTrip: every OrgWithCapacity preset keeps the
+// encode/decode bijection and the top-bits sub-array-group property.
+func TestAllCapacityPresetsRoundTrip(t *testing.T) {
+	for _, gb := range []int{64, 128, 256, 512, 1024} {
+		org, err := dram.OrgWithCapacity(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, intlv := range []bool{true, false} {
+			m, err := NewMapper(org, intlv)
+			if err != nil {
+				t.Fatalf("%dGB intlv=%v: %v", gb, intlv, err)
+			}
+			capBytes := uint64(org.TotalBytes())
+			f := func(raw uint64) bool {
+				pa := (raw % capBytes) &^ 63
+				l, err := m.Decode(pa)
+				if err != nil {
+					return false
+				}
+				return m.Encode(l) == pa
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("%dGB intlv=%v: %v", gb, intlv, err)
+			}
+		}
+		// Top address slice = last sub-array group.
+		m, _ := NewMapper(org, true)
+		if g, err := m.SubArrayGroup(capBytes(gb) - 64); err != nil || g != org.SubArraysPerBank-1 {
+			t.Errorf("%dGB: top address in group %d (err %v)", gb, g, err)
+		}
+	}
+}
+
+func capBytes(gb int) uint64 { return uint64(gb) << 30 }
+
+// TestGroupRangesPartitionAddressSpace: the 64 group ranges tile the
+// address space exactly with no gaps or overlap.
+func TestGroupRangesPartitionAddressSpace(t *testing.T) {
+	m := mustMapper(t, dram.Org256GB(), true)
+	var expect uint64
+	for g := 0; g < 64; g++ {
+		lo, hi, err := m.GroupAddressRange(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo != expect {
+			t.Fatalf("group %d starts at %#x, want %#x", g, lo, expect)
+		}
+		if hi <= lo {
+			t.Fatalf("group %d empty", g)
+		}
+		expect = hi
+	}
+	if expect != uint64(m.Org().TotalBytes()) {
+		t.Errorf("groups cover %#x of %#x", expect, m.Org().TotalBytes())
+	}
+}
+
+// TestContiguousRankSlabs: under the contiguous map, global rank r owns
+// exactly the PFN slab [r*rankBytes, (r+1)*rankBytes) — the assumption
+// RAMZzz's census relies on.
+func TestContiguousRankSlabs(t *testing.T) {
+	o := dram.Org64GB()
+	m := mustMapper(t, o, false)
+	rankBytes := uint64(o.RankBytes())
+	for r := 0; r < o.TotalRanks(); r++ {
+		for _, off := range []uint64{0, rankBytes / 2, rankBytes - 64} {
+			pa := uint64(r)*rankBytes + off
+			l, err := m.Decode(pa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := l.Channel*o.RanksPerChannel() + l.Rank
+			if got != r {
+				t.Fatalf("pa %#x in global rank %d, want %d", pa, got, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package addr
+
+import (
+	"testing"
+
+	"greendimm/internal/dram"
+)
+
+// FuzzDecodeEncode: any in-range address must decode to in-range fields
+// and encode back to itself (line-aligned); out-of-range must error, never
+// panic.
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(uint64(0), true)
+	f.Add(uint64(64<<30)-64, true)
+	f.Add(uint64(1)<<35, false)
+	f.Add(^uint64(0), true)
+	orgI, err := NewMapper(dram.Org64GB(), true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	orgC, err := NewMapper(dram.Org64GB(), false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, pa uint64, interleaved bool) {
+		m := orgC
+		if interleaved {
+			m = orgI
+		}
+		l, err := m.Decode(pa)
+		if pa >= uint64(m.Org().TotalBytes()) {
+			if err == nil {
+				t.Fatalf("out-of-range %#x accepted", pa)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range %#x rejected: %v", pa, err)
+		}
+		if got := m.Encode(l); got != pa&^63 {
+			t.Fatalf("round trip %#x -> %#x", pa, got)
+		}
+		g, err := m.SubArrayGroup(pa)
+		if err != nil || g < 0 || g >= m.Org().SubArraysPerBank {
+			t.Fatalf("group %d err %v", g, err)
+		}
+	})
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"testing"
+
+	"greendimm/internal/hotplug"
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+const (
+	pageSize = 4096
+	oneMB    = 1 << 20
+)
+
+// rig: 1GB memory, 32MB blocks, 64MB groups (2 blocks per group, 16 groups).
+type rig struct {
+	eng  *sim.Engine
+	mem  *kernel.Mem
+	hp   *hotplug.Manager
+	ctrl *RegisterController
+	d    *Daemon
+}
+
+func newRig(t *testing.T, cfg Config, kcfg kernel.Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	if kcfg.TotalBytes == 0 {
+		kcfg = kernel.Config{TotalBytes: 1 << 30, PageBytes: pageSize}
+	}
+	mem, err := kernel.New(kcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hotplug.New(mem, hotplug.Config{BlockBytes: 32 * oneMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GroupBytes == 0 {
+		cfg.GroupBytes = 64 * oneMB
+	}
+	ctrl := NewRegisterController(eng, int((kcfg.TotalBytes)/cfg.GroupBytes))
+	d, err := New(eng, mem, hp, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, mem: mem, hp: hp, ctrl: ctrl, d: d}
+}
+
+func TestOfflinesFreeMemoryDownToReserve(t *testing.T) {
+	r := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 32}, kernel.Config{})
+	// 200MB used, 824MB free; off_thr 10% of 1GB = 102.4MB; blocks 32MB.
+	if _, err := r.mem.AllocPages(200*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	mi := r.mem.Meminfo()
+	freeFrac := float64(mi.FreeBytes) / float64(1<<30)
+	if freeFrac < 0.10 || freeFrac > 0.10+0.035 {
+		t.Errorf("free fraction settled at %.3f, want just above 0.10", freeFrac)
+	}
+	// 824MB free - 102MB reserve -> ~22 blocks of 32MB off-lined.
+	if got := r.d.OfflinedBlocks(); got < 20 || got > 23 {
+		t.Errorf("off-lined blocks = %d, want ~22", got)
+	}
+	if r.d.Stats().Offlines != int64(r.d.OfflinedBlocks()) {
+		t.Error("offline count mismatch")
+	}
+}
+
+func TestGroupsEnterDPDWhenFullyOfflined(t *testing.T) {
+	r := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 32}, kernel.Config{})
+	if _, err := r.mem.AllocPages(200*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	// 22 blocks off-lined from the top: 11 full groups. With the
+	// neighbor rule off (default here), all fully-off groups power down.
+	down := r.ctrl.Register().DownCount()
+	want := r.d.OfflinedBlocks() / 2 // 2 blocks per group
+	if down != want {
+		t.Errorf("groups in DPD = %d, want %d", down, want)
+	}
+	if r.d.DPDFraction() != float64(down)/16 {
+		t.Errorf("DPDFraction = %v", r.d.DPDFraction())
+	}
+	// Off-lining is top-down: the highest group must be down, group 0 up.
+	if !r.ctrl.Register().Down(15) {
+		t.Error("top group not powered down")
+	}
+	if r.ctrl.Register().Down(0) {
+		t.Error("bottom group powered down despite live allocations")
+	}
+}
+
+func TestOnlineOnPressure(t *testing.T) {
+	r := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 32}, kernel.Config{})
+	if _, err := r.mem.AllocPages(200*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	offlined := r.d.OfflinedBlocks()
+	if offlined == 0 {
+		t.Fatal("setup: nothing off-lined")
+	}
+	// Allocate enough to push free below on_thr (5%): free is ~104MB;
+	// grab 80MB.
+	if _, err := r.mem.AllocPages(80*oneMB/pageSize, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now() + 2*sim.Second)
+	if got := r.d.OfflinedBlocks(); got >= offlined {
+		t.Errorf("no blocks on-lined under pressure: %d -> %d", offlined, got)
+	}
+	if r.d.Stats().Onlines == 0 {
+		t.Error("online count zero")
+	}
+	// Free memory recovered above on_thr.
+	mi := r.mem.Meminfo()
+	if float64(mi.FreeBytes)/float64(1<<30) < 0.05 {
+		t.Errorf("free still below on_thr: %d", mi.FreeBytes)
+	}
+	// Groups that had powered down and were re-onlined must be Ready.
+	reg := r.ctrl.Register()
+	for g := 0; g < reg.Groups(); g++ {
+		if !reg.Down(g) && !reg.Ready(g) {
+			t.Errorf("group %d neither down nor ready", g)
+		}
+	}
+}
+
+func TestNeighborRuleGatesDPD(t *testing.T) {
+	// With the neighbor rule, a group powers down only when its partner
+	// (g^1) is fully off-lined too.
+	r := newRig(t, Config{
+		Period: 100 * sim.Millisecond, MaxOfflinePerTick: 1, NeighborRule: true,
+	}, kernel.Config{})
+	// Use memory so only 3 blocks (1.5 groups) can be off-lined: free
+	// starts at 204MB; each 32MB off-lining must leave free > 134MB
+	// (reserve + one block), so exactly 3 succeed.
+	if _, err := r.mem.AllocPages(820*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Start()
+	r.eng.RunUntil(5 * sim.Second)
+	if got := r.d.OfflinedBlocks(); got != 3 {
+		t.Fatalf("off-lined %d blocks, want 3", got)
+	}
+	// Blocks 31,30 (group 15) and 29 (half of group 14): group 15 has its
+	// partner 14 incomplete -> with the neighbor rule NEITHER powers down.
+	if got := r.ctrl.Register().DownCount(); got != 0 {
+		t.Errorf("groups down = %d, want 0 under neighbor rule", got)
+	}
+	// Same scenario without the rule: group 15 powers down.
+	r2 := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 1}, kernel.Config{})
+	if _, err := r2.mem.AllocPages(820*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r2.d.Start()
+	r2.eng.RunUntil(5 * sim.Second)
+	if got := r2.ctrl.Register().DownCount(); got != 1 {
+		t.Errorf("groups down = %d without neighbor rule, want 1", got)
+	}
+}
+
+func TestOfflinableRegionBound(t *testing.T) {
+	// Restricting off-lining to the top 128MB (4 blocks) also scopes the
+	// thresholds to the region: off_thr reserves 10% of 128MB, so with
+	// everything free the daemon stops once region free (128, 96, 64MB
+	// before each attempt) would drop under reserve+block = 44.8MB:
+	// exactly 3 of the 4 region blocks off-line.
+	r := newRig(t, Config{
+		Period: 50 * sim.Millisecond, MaxOfflinePerTick: 8,
+		OfflinableBytes: 128 * oneMB,
+	}, kernel.Config{})
+	r.d.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	if got := r.d.OfflinedBlocks(); got != 3 {
+		t.Errorf("off-lined %d blocks, want 3 (region-bound)", got)
+	}
+	for i := 0; i < 28; i++ {
+		if r.hp.State(i) == hotplug.BlockOffline {
+			t.Errorf("block %d outside the off-linable region was off-lined", i)
+		}
+	}
+}
+
+func TestSelectionPolicies(t *testing.T) {
+	// Random picks used blocks -> failures; free-first never fails.
+	mkrig := func(policy SelectPolicy) *Daemon {
+		eng := sim.NewEngine()
+		mem, err := kernel.New(kernel.Config{
+			TotalBytes: 1 << 30, PageBytes: pageSize,
+			KernelReservedBytes: 16 * oneMB, UnmovableLeakEvery: 3, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, err := hotplug.New(mem, hotplug.Config{
+			BlockBytes: 32 * oneMB, MigrateAttemptFailProb: 0.9, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl := NewRegisterController(eng, 16)
+		d, err := New(eng, mem, hp, ctrl, Config{
+			Period: 50 * sim.Millisecond, Policy: policy, Seed: 42, GroupBytes: 64 * oneMB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scatter some movable allocations mid-memory.
+		if _, err := mem.AllocPages(300*oneMB/pageSize, true, 5); err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		eng.RunUntil(3 * sim.Second)
+		return d
+	}
+	free := mkrig(SelectFreeFirst)
+	random := mkrig(SelectRandom)
+	if f := free.Stats(); f.EBusyFailures+f.EAgainFailures != 0 {
+		t.Errorf("free-first policy failed %d times", f.EBusyFailures+f.EAgainFailures)
+	}
+	if f := random.Stats(); f.EBusyFailures+f.EAgainFailures == 0 {
+		t.Error("random policy never failed; unrealistic for used blocks")
+	}
+	// Fig. 8: removable-first fails less than random.
+	rem := mkrig(SelectRemovableFirst)
+	rf := rem.Stats().EBusyFailures + rem.Stats().EAgainFailures
+	rnd := random.Stats().EBusyFailures + random.Stats().EAgainFailures
+	if rf >= rnd {
+		t.Errorf("removable-first failures (%d) not below random (%d)", rf, rnd)
+	}
+}
+
+func TestStallSinkCharged(t *testing.T) {
+	r := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 8}, kernel.Config{})
+	var charged sim.Time
+	r.d.SetStallSink(func(d sim.Time) { charged += d })
+	r.d.Start()
+	r.eng.RunUntil(1 * sim.Second)
+	if charged == 0 {
+		t.Error("no CPU time charged to the stall sink")
+	}
+	if charged != r.d.Stats().CPUTime {
+		t.Errorf("stall sink %v != stats CPU %v", charged, r.d.Stats().CPUTime)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, _ := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: pageSize})
+	hp, _ := hotplug.New(mem, hotplug.Config{BlockBytes: 32 * oneMB})
+	ctrl := NewRegisterController(eng, 16)
+	if _, err := New(eng, mem, hp, ctrl, Config{OffThr: 0.05, OnThr: 0.10}); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	if _, err := New(eng, mem, hp, ctrl, Config{GroupBytes: 48 * oneMB}); err == nil {
+		t.Error("group size incompatible with blocks accepted")
+	}
+	if _, err := New(eng, mem, hp, ctrl, Config{GroupBytes: 100 * oneMB}); err == nil {
+		t.Error("non-divisor group size accepted")
+	}
+	if _, err := New(eng, mem, hp, ctrl, Config{OfflinableBytes: 2 << 30}); err == nil {
+		t.Error("oversized offlinable region accepted")
+	}
+	d, err := New(eng, mem, hp, ctrl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Groups() != 64 || d.GroupBytes() != (1<<30)/64 {
+		t.Errorf("defaults: groups=%d groupBytes=%d", d.Groups(), d.GroupBytes())
+	}
+}
+
+func TestBlockLargerThanGroup(t *testing.T) {
+	// 512MB-style case (paper §5.1): one block spans several groups; all
+	// of them power down when the block off-lines.
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hotplug.New(mem, hotplug.Config{BlockBytes: 128 * oneMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewRegisterController(eng, 32) // 32MB groups: 4 per block
+	d, err := New(eng, mem, hp, ctrl, Config{
+		Period: 50 * sim.Millisecond, GroupBytes: 32 * oneMB, MaxOfflinePerTick: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.AllocPages(700*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunUntil(2 * sim.Second)
+	// free = 324MB, reserve 102MB -> 1 block of 128MB off-lined
+	// (a second would leave 68MB < reserve+block).
+	if got := d.OfflinedBlocks(); got != 1 {
+		t.Fatalf("off-lined %d blocks, want 1", got)
+	}
+	if got := ctrl.Register().DownCount(); got != 4 {
+		t.Errorf("groups down = %d, want 4 (whole block)", got)
+	}
+}
+
+func TestTimeSeriesAverages(t *testing.T) {
+	r := newRig(t, Config{Period: 100 * sim.Millisecond, MaxOfflinePerTick: 32}, kernel.Config{})
+	r.d.Start()
+	r.eng.RunUntil(4 * sim.Second)
+	if r.d.AvgOfflinedBlocks() <= 0 {
+		t.Error("average off-lined blocks not tracked")
+	}
+	if avg := r.d.AvgDPDFraction(); avg <= 0 || avg > 1 {
+		t.Errorf("average DPD fraction = %v", avg)
+	}
+	if r.d.Stats().Ticks < 30 {
+		t.Errorf("ticks = %d, want ~40", r.d.Stats().Ticks)
+	}
+}
+
+func TestNeighborWakeOnOnline(t *testing.T) {
+	// With the neighbor rule, on-lining a block whose group's PARTNER is
+	// powered down must wake the partner too (its sense-amp sharing means
+	// it cannot stay gated while the neighbor serves traffic).
+	r := newRig(t, Config{
+		Period: 100 * sim.Millisecond, MaxOfflinePerTick: 32, NeighborRule: true,
+	}, kernel.Config{})
+	if _, err := r.mem.AllocPages(200*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	r.d.Start()
+	r.eng.RunUntil(2 * sim.Second)
+	down := r.ctrl.Register().DownCount()
+	if down == 0 {
+		t.Fatal("setup: no groups powered down")
+	}
+	// Create pressure: the daemon on-lines blocks; every wake must leave
+	// no group violating the pairing invariant.
+	if _, err := r.mem.AllocPages(90*oneMB/pageSize, true, 6); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now() + 2*sim.Second)
+	reg := r.ctrl.Register()
+	for g := 0; g < reg.Groups(); g += 2 {
+		a, b := reg.Down(g), reg.Down(g+1)
+		// Pairing invariant: a group may only be down when its partner is
+		// fully off-lined; since blocks on-line LIFO within groups, a
+		// down group whose partner has online blocks is a bug.
+		if a != b {
+			// The partner must at least be fully off-lined.
+			partner := g + 1
+			if a {
+				partner = g
+			}
+			lo := int64(partner) * (64 * oneMB) / (32 * oneMB)
+			for b0 := lo; b0 < lo+2; b0++ {
+				if r.hp.State(int(b0)) == hotplug.BlockOnline {
+					t.Fatalf("group %d down while partner %d has online block %d", g, partner, b0)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFailuresPerTickBoundsRetries(t *testing.T) {
+	// A daemon facing only failing candidates gives up after the
+	// configured failure budget each tick.
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{
+		TotalBytes: 1 << 30, PageBytes: pageSize,
+		KernelReservedBytes: 8 * oneMB, UnmovableLeakEvery: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hotplug.New(mem, hotplug.Config{
+		BlockBytes: 32 * oneMB, MigrateAttemptFailProb: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewRegisterController(eng, 16)
+	d, err := New(eng, mem, hp, ctrl, Config{
+		Period: 100 * sim.Millisecond, Policy: SelectRandom,
+		GroupBytes: 64 * oneMB, MaxFailuresPerTick: 2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make every block contain used pages so every attempt fails.
+	if _, err := mem.AllocPages(700*oneMB/pageSize, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	eng.RunUntil(1 * sim.Second)
+	st := d.Stats()
+	failures := st.EBusyFailures + st.EAgainFailures
+	if failures == 0 {
+		t.Fatal("no failures despite poisoned blocks")
+	}
+	if max := st.Ticks * 2; failures > max {
+		t.Errorf("failures %d exceed budget of 2/tick over %d ticks", failures, st.Ticks)
+	}
+}

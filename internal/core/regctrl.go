@@ -1,0 +1,67 @@
+package core
+
+import (
+	"greendimm/internal/dram"
+	"greendimm/internal/metrics"
+	"greendimm/internal/sim"
+)
+
+// RegisterController is a lightweight PowerController for epoch-mode
+// simulations (the 24-hour VM-trace experiments), where running a
+// cycle-level memory controller would mean hundreds of billions of refresh
+// events. It keeps the same sub-array-group register semantics and exit
+// latency, and integrates the time-weighted DPD fraction the power model
+// needs — it just serves no memory requests.
+type RegisterController struct {
+	eng   *sim.Engine
+	reg   *dram.SubArrayGroupRegister
+	tDPDX sim.Time
+	frac  *metrics.WeightedValue
+}
+
+// NewRegisterController builds a controller over n sub-array groups with
+// the standard 18ns deep power-down exit.
+func NewRegisterController(eng *sim.Engine, n int) *RegisterController {
+	return &RegisterController{
+		eng:   eng,
+		reg:   dram.NewSubArrayGroupRegisterN(n),
+		tDPDX: 18 * sim.Nanosecond,
+		frac:  metrics.NewWeightedValue(0, eng.Now()),
+	}
+}
+
+// EnterGroupDPD implements PowerController.
+func (r *RegisterController) EnterGroupDPD(g int) error {
+	if err := r.reg.EnterDPD(g); err != nil {
+		return err
+	}
+	r.frac.Set(r.eng.Now(), r.reg.DownFraction())
+	return nil
+}
+
+// ExitGroupDPD implements PowerController.
+func (r *RegisterController) ExitGroupDPD(g int, ready func()) error {
+	if err := r.reg.BeginExit(g); err != nil {
+		return err
+	}
+	r.frac.Set(r.eng.Now(), r.reg.DownFraction())
+	r.eng.After(r.tDPDX, func() {
+		r.reg.CompleteExit(g)
+		if ready != nil {
+			ready()
+		}
+	})
+	return nil
+}
+
+// Register exposes the underlying register.
+func (r *RegisterController) Register() *dram.SubArrayGroupRegister { return r.reg }
+
+// AvgDPDFraction reports the time-weighted fraction of groups in deep
+// power-down since construction.
+func (r *RegisterController) AvgDPDFraction() float64 {
+	return r.frac.Average(r.eng.Now())
+}
+
+// DPDFraction reports the instantaneous fraction.
+func (r *RegisterController) DPDFraction() float64 { return r.frac.Value() }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"greendimm/internal/sim"
+)
+
+func TestRegisterControllerLifecycle(t *testing.T) {
+	eng := sim.NewEngine()
+	rc := NewRegisterController(eng, 16)
+	if rc.DPDFraction() != 0 {
+		t.Fatal("fresh controller not all-up")
+	}
+	if err := rc.EnterGroupDPD(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.EnterGroupDPD(16); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	if got := rc.DPDFraction(); got != 1.0/16 {
+		t.Errorf("DPDFraction = %v", got)
+	}
+	fired := false
+	readyAtStart := rc.Register().Ready(3)
+	if readyAtStart {
+		t.Error("group ready while down")
+	}
+	if err := rc.ExitGroupDPD(3, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("ready callback fired synchronously; must wait tDPDX")
+	}
+	eng.Run()
+	if !fired || !rc.Register().Ready(3) {
+		t.Error("exit handshake incomplete")
+	}
+	// 18ns exit, like the paper.
+	if eng.Now() != 18*sim.Nanosecond {
+		t.Errorf("exit took %v, want 18ns", eng.Now())
+	}
+}
+
+func TestRegisterControllerTimeWeightedAverage(t *testing.T) {
+	eng := sim.NewEngine()
+	rc := NewRegisterController(eng, 4)
+	if err := rc.EnterGroupDPD(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Second) // 1/4 down for 1s
+	if err := rc.EnterGroupDPD(1); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(2 * sim.Second) // 2/4 down for another 1s
+	got := rc.AvgDPDFraction()
+	want := (0.25 + 0.5) / 2
+	if got < want-0.001 || got > want+0.001 {
+		t.Errorf("AvgDPDFraction = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,173 @@
+// Package dram models the organization and electrical behaviour of a
+// DDR4-style main memory: channels, DIMMs, ranks, devices, bank groups,
+// banks and — central to GreenDIMM — sub-arrays, plus the mode-register
+// machinery (PASR bit vectors, the GreenDIMM sub-array-group register) that
+// the memory controller programs.
+//
+// The package is purely structural: command scheduling and timing
+// enforcement live in internal/mc, and the power math lives in
+// internal/power. Keeping the organization separate lets the address
+// mapper, controller, and power model all agree on one geometry.
+package dram
+
+import "fmt"
+
+// Org describes a main-memory organization. The zero value is not valid;
+// use one of the preset constructors or fill every field and call Validate.
+type Org struct {
+	Channels         int // independent memory channels
+	DIMMsPerChannel  int // DIMM slots populated per channel
+	RanksPerDIMM     int // ranks per DIMM (1R, 2R, ...)
+	DeviceWidth      int // DQ bits per device: 4, 8 or 16
+	DeviceGbit       int // device density in gigabits: 4 or 8
+	BankGroups       int // DDR4: 4
+	BanksPerGroup    int // DDR4: 4
+	Columns          int // columns per row (device), DDR4: 1024
+	SubArraysPerBank int // sub-arrays per physical bank, e.g. 64
+	BurstLength      int // BL8 for DDR4
+}
+
+// DDR4 constants shared by the presets.
+const (
+	ddr4BankGroups    = 4
+	ddr4BanksPerGroup = 4
+	ddr4Columns       = 1024
+	ddr4Burst         = 8
+	busWidthBits      = 64 // non-ECC data bus per channel
+)
+
+// Org64GB returns the SPEC-experiment machine from the paper's §6.1:
+// eight 2R x8 8GB DIMMs (4Gb devices) on four channels — 64GB total,
+// 16 ranks of 4GB, 64 sub-arrays per bank.
+func Org64GB() Org {
+	return Org{
+		Channels:         4,
+		DIMMsPerChannel:  2,
+		RanksPerDIMM:     2,
+		DeviceWidth:      8,
+		DeviceGbit:       4,
+		BankGroups:       ddr4BankGroups,
+		BanksPerGroup:    ddr4BanksPerGroup,
+		Columns:          ddr4Columns,
+		SubArraysPerBank: 64,
+		BurstLength:      ddr4Burst,
+	}
+}
+
+// Org256GB returns the VM-trace machine from the paper's §6.1: eight
+// 2R x4 32GB DIMMs (8Gb devices) on four channels — 256GB total.
+func Org256GB() Org {
+	return Org{
+		Channels:         4,
+		DIMMsPerChannel:  2,
+		RanksPerDIMM:     2,
+		DeviceWidth:      4,
+		DeviceGbit:       8,
+		BankGroups:       ddr4BankGroups,
+		BanksPerGroup:    ddr4BanksPerGroup,
+		Columns:          ddr4Columns,
+		SubArraysPerBank: 64,
+		BurstLength:      ddr4Burst,
+	}
+}
+
+// OrgWithCapacity scales the 256GB preset to the requested total capacity by
+// varying DIMMs per channel (Fig. 2 and Fig. 13 sweep 64GB..1TB this way:
+// more modules plugged in, same devices). capacityGB must be a multiple of
+// the per-DIMM capacity (32GB) times the channel count (4), i.e. of 128GB,
+// except that 64GB is mapped to a single-rank variant.
+func OrgWithCapacity(capacityGB int) (Org, error) {
+	base := Org256GB()
+	perDIMMGB := 32
+	perChannelDIMMCap := perDIMMGB * base.Channels // GB added per DIMM-per-channel step
+	if capacityGB == 64 {
+		o := base
+		o.DIMMsPerChannel = 1
+		o.RanksPerDIMM = 1
+		if got := o.TotalBytes(); got != 64<<30 {
+			return Org{}, fmt.Errorf("dram: 64GB preset built %d bytes", got)
+		}
+		return o, nil
+	}
+	if capacityGB%perChannelDIMMCap != 0 {
+		return Org{}, fmt.Errorf("dram: capacity %dGB not a multiple of %dGB", capacityGB, perChannelDIMMCap)
+	}
+	o := base
+	o.DIMMsPerChannel = capacityGB / perChannelDIMMCap
+	if o.DIMMsPerChannel < 1 {
+		return Org{}, fmt.Errorf("dram: capacity %dGB too small", capacityGB)
+	}
+	return o, nil
+}
+
+// Validate checks internal consistency.
+func (o Org) Validate() error {
+	switch {
+	case o.Channels <= 0, o.DIMMsPerChannel <= 0, o.RanksPerDIMM <= 0:
+		return fmt.Errorf("dram: non-positive channel/DIMM/rank counts in %+v", o)
+	case o.DeviceWidth != 4 && o.DeviceWidth != 8 && o.DeviceWidth != 16:
+		return fmt.Errorf("dram: device width x%d unsupported", o.DeviceWidth)
+	case o.DeviceGbit != 4 && o.DeviceGbit != 8 && o.DeviceGbit != 16:
+		return fmt.Errorf("dram: device density %dGb unsupported", o.DeviceGbit)
+	case o.BankGroups <= 0 || o.BanksPerGroup <= 0:
+		return fmt.Errorf("dram: bad bank organization")
+	case o.Columns <= 0 || o.Columns&(o.Columns-1) != 0:
+		return fmt.Errorf("dram: columns %d not a power of two", o.Columns)
+	case o.SubArraysPerBank <= 0 || o.SubArraysPerBank&(o.SubArraysPerBank-1) != 0:
+		return fmt.Errorf("dram: sub-arrays per bank %d not a power of two", o.SubArraysPerBank)
+	case o.Rows()%o.SubArraysPerBank != 0:
+		return fmt.Errorf("dram: rows %d not divisible by %d sub-arrays", o.Rows(), o.SubArraysPerBank)
+	}
+	return nil
+}
+
+// DevicesPerRank is the number of devices ganged to fill the 64-bit bus.
+func (o Org) DevicesPerRank() int { return busWidthBits / o.DeviceWidth }
+
+// Banks is the number of banks per rank (bank groups x banks per group).
+func (o Org) Banks() int { return o.BankGroups * o.BanksPerGroup }
+
+// Rows returns rows per bank, derived from device density:
+// densityBits = banks * rows * columns * width.
+func (o Org) Rows() int {
+	densityBits := int64(o.DeviceGbit) << 30
+	perBank := densityBits / int64(o.Banks())
+	rowBits := int64(o.Columns) * int64(o.DeviceWidth)
+	return int(perBank / rowBits)
+}
+
+// RowsPerSubArray is the number of rows in one sub-array.
+func (o Org) RowsPerSubArray() int { return o.Rows() / o.SubArraysPerBank }
+
+// RanksPerChannel is ranks visible on one channel.
+func (o Org) RanksPerChannel() int { return o.DIMMsPerChannel * o.RanksPerDIMM }
+
+// TotalRanks is the rank count across all channels.
+func (o Org) TotalRanks() int { return o.Channels * o.RanksPerChannel() }
+
+// RankBytes is the capacity of one rank in bytes.
+func (o Org) RankBytes() int64 {
+	return int64(o.DeviceGbit) * (1 << 30) / 8 * int64(o.DevicesPerRank())
+}
+
+// TotalBytes is the capacity of the whole memory in bytes.
+func (o Org) TotalBytes() int64 { return o.RankBytes() * int64(o.TotalRanks()) }
+
+// LineBytes is the bytes transferred per column access (burst): 64B, one
+// cache line, for a 64-bit bus with BL8.
+func (o Org) LineBytes() int64 { return int64(busWidthBits/8) * int64(o.BurstLength) }
+
+// SubArrayGroupBytes is the capacity of one sub-array group: the same
+// sub-array index taken across every channel, rank and bank (paper §4.1).
+// For the 64GB preset this is 1GB = 1.5625% of capacity.
+func (o Org) SubArrayGroupBytes() int64 {
+	return o.TotalBytes() / int64(o.SubArraysPerBank)
+}
+
+// String summarizes the organization, e.g.
+// "4ch x 2DIMM x 2R x4 8Gb (256GB, 16 ranks, 64 sub-arrays/bank)".
+func (o Org) String() string {
+	return fmt.Sprintf("%dch x %dDIMM x %dR x%d %dGb (%dGB, %d ranks, %d sub-arrays/bank)",
+		o.Channels, o.DIMMsPerChannel, o.RanksPerDIMM, o.DeviceWidth, o.DeviceGbit,
+		o.TotalBytes()>>30, o.TotalRanks(), o.SubArraysPerBank)
+}

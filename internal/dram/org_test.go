@@ -1,0 +1,194 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrg64GBGeometry(t *testing.T) {
+	o := Org64GB()
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.TotalBytes(); got != 64<<30 {
+		t.Errorf("TotalBytes = %d, want 64GB", got)
+	}
+	if got := o.TotalRanks(); got != 16 {
+		t.Errorf("TotalRanks = %d, want 16", got)
+	}
+	if got := o.RankBytes(); got != 4<<30 {
+		t.Errorf("RankBytes = %d, want 4GB", got)
+	}
+	if got := o.DevicesPerRank(); got != 8 {
+		t.Errorf("DevicesPerRank = %d, want 8 for x8", got)
+	}
+	if got := o.Banks(); got != 16 {
+		t.Errorf("Banks = %d, want 16", got)
+	}
+	// Paper §4.1: 4Gb x8 device has 15 row bits = 32768 rows, 64
+	// sub-arrays of 512 rows.
+	if got := o.Rows(); got != 32768 {
+		t.Errorf("Rows = %d, want 32768", got)
+	}
+	if got := o.RowsPerSubArray(); got != 512 {
+		t.Errorf("RowsPerSubArray = %d, want 512", got)
+	}
+	// Paper §4.1: the minimum power-management unit for 64GB is 1024MB,
+	// 1.5625% of capacity.
+	if got := o.SubArrayGroupBytes(); got != 1<<30 {
+		t.Errorf("SubArrayGroupBytes = %d, want 1GB", got)
+	}
+	frac := float64(o.SubArrayGroupBytes()) / float64(o.TotalBytes())
+	if frac != 0.015625 {
+		t.Errorf("group fraction = %v, want 1.5625%%", frac)
+	}
+	if got := o.LineBytes(); got != 64 {
+		t.Errorf("LineBytes = %d, want 64", got)
+	}
+}
+
+func TestOrg256GBGeometry(t *testing.T) {
+	o := Org256GB()
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.TotalBytes(); got != 256<<30 {
+		t.Errorf("TotalBytes = %d, want 256GB", got)
+	}
+	if got := o.DevicesPerRank(); got != 16 {
+		t.Errorf("DevicesPerRank = %d, want 16 for x4", got)
+	}
+	if got := o.RankBytes(); got != 16<<30 {
+		t.Errorf("RankBytes = %d, want 16GB", got)
+	}
+	// 8Gb x4: per bank 512Mb, row = 1024 cols * 4 bits = 4096 bits,
+	// rows = 131072 (17 row bits).
+	if got := o.Rows(); got != 131072 {
+		t.Errorf("Rows = %d, want 131072", got)
+	}
+}
+
+func TestOrgGroupFractionInvariant(t *testing.T) {
+	// Paper §4.1: "the percentage does not change with smaller or larger
+	// total capacity" — group fraction is always 1/SubArraysPerBank.
+	for _, gb := range []int{64, 128, 256, 512, 1024} {
+		o, err := OrgWithCapacity(gb)
+		if err != nil {
+			t.Fatalf("OrgWithCapacity(%d): %v", gb, err)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("capacity %dGB: %v", gb, err)
+		}
+		if got := o.TotalBytes(); got != int64(gb)<<30 {
+			t.Errorf("capacity %dGB: TotalBytes = %d", gb, got)
+		}
+		frac := float64(o.SubArrayGroupBytes()) / float64(o.TotalBytes())
+		if frac != 1.0/64 {
+			t.Errorf("capacity %dGB: group fraction = %v, want 1/64", gb, frac)
+		}
+	}
+}
+
+func TestOrgWithCapacityRejectsOdd(t *testing.T) {
+	if _, err := OrgWithCapacity(100); err == nil {
+		t.Error("OrgWithCapacity(100) should fail")
+	}
+	if _, err := OrgWithCapacity(0); err == nil {
+		t.Error("OrgWithCapacity(0) should fail")
+	}
+}
+
+func TestOrgValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Org{
+		{}, // zero value
+		func() Org { o := Org64GB(); o.DeviceWidth = 5; return o }(),
+		func() Org { o := Org64GB(); o.DeviceGbit = 3; return o }(),
+		func() Org { o := Org64GB(); o.Columns = 1000; return o }(),
+		func() Org { o := Org64GB(); o.SubArraysPerBank = 48; return o }(),
+		func() Org { o := Org64GB(); o.Channels = 0; return o }(),
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad org %+v", i, o)
+		}
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	s := Org64GB().String()
+	for _, want := range []string{"4ch", "x8", "4Gb", "64GB", "16 ranks"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCapacityDecomposition(t *testing.T) {
+	// Property: capacity computed top-down (ranks x rank bytes) equals
+	// bottom-up (devices x banks x rows x cols x width).
+	f := func(chans, dimms, ranks uint8) bool {
+		o := Org64GB()
+		o.Channels = int(chans%4) + 1
+		o.DIMMsPerChannel = int(dimms%2) + 1
+		o.RanksPerDIMM = int(ranks%2) + 1
+		bottomUp := int64(o.DevicesPerRank()) * int64(o.Banks()) * int64(o.Rows()) *
+			int64(o.Columns) * int64(o.DeviceWidth) / 8 * int64(o.TotalRanks())
+		return bottomUp == o.TotalBytes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimingPresets(t *testing.T) {
+	for name, tm := range map[string]Timing{"2133": DDR4_2133(), "2133-8Gb": DDR4_2133_8Gb()} {
+		if err := tm.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	tm := DDR4_2133()
+	// The paper's quoted exit latencies.
+	if tm.TXP.Nanoseconds() != 18 {
+		t.Errorf("tXP = %v, want 18ns", tm.TXP)
+	}
+	if tm.TXS.Nanoseconds() != 768 {
+		t.Errorf("tXS = %v, want 768ns", tm.TXS)
+	}
+	if tm.TDPDX != tm.TXP {
+		t.Errorf("tDPDX = %v, want == tXP (paper §4.3)", tm.TDPDX)
+	}
+	if DDR4_2133_8Gb().TRFC <= tm.TRFC {
+		t.Error("8Gb tRFC should exceed 4Gb tRFC")
+	}
+}
+
+func TestTimingValidateCatchesInversions(t *testing.T) {
+	tm := DDR4_2133()
+	tm.TRC = tm.TRAS // < tRAS + tRP
+	if err := tm.Validate(); err == nil {
+		t.Error("tRC < tRAS+tRP accepted")
+	}
+	tm = DDR4_2133()
+	tm.TDPDX = tm.TXS // deep PD exit slower than PD exit
+	if err := tm.Validate(); err == nil {
+		t.Error("tDPDX > tXP accepted")
+	}
+}
+
+func TestPowerStateString(t *testing.T) {
+	if StateSelfRefresh.String() != "self-refresh" {
+		t.Error("bad state name")
+	}
+	if PowerState(99).String() != "invalid" {
+		t.Error("out-of-range state should be invalid")
+	}
+	if StateActive.IsLowPower() || StatePrechargeStandby.IsLowPower() {
+		t.Error("active/standby are not low power")
+	}
+	for _, s := range []PowerState{StatePowerDown, StateSelfRefresh, StateDeepPowerDown} {
+		if !s.IsLowPower() {
+			t.Errorf("%v should be low power", s)
+		}
+	}
+}

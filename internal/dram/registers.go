@@ -1,0 +1,149 @@
+package dram
+
+import "fmt"
+
+// This file models the two control-register schemes the paper contrasts in
+// §4.3:
+//
+//   - PASR/PAAR: a per-rank bit vector with one enable bit per bank
+//     (16 bits/rank; 128 bits for the paper's 4-channel 2-rank machine).
+//   - GreenDIMM: a single global bit vector with one bit per sub-array
+//     group (64 bits regardless of channel and rank count), because a group
+//     spans every channel, rank and bank in lock-step.
+//
+// The registers only record intent; the memory controller consults them to
+// gate refresh and to account power-state residency.
+
+// PASRRegister is the memory-mapped refresh-enable bit vector for
+// bank-granularity partial-array self-refresh. Bit (rank, bank) set means
+// refresh DISABLED for that bank (the bank's content is abandoned or known
+// dead, mobile-DRAM style).
+type PASRRegister struct {
+	ranks int
+	banks int
+	bits  []bool // ranks*banks, row-major by rank
+}
+
+// NewPASRRegister sizes the register for the organization.
+func NewPASRRegister(o Org) *PASRRegister {
+	return &PASRRegister{
+		ranks: o.TotalRanks(),
+		banks: o.Banks(),
+		bits:  make([]bool, o.TotalRanks()*o.Banks()),
+	}
+}
+
+// Bits reports the register width in bits (the paper's hardware-cost
+// comparison: 16 bits/rank).
+func (r *PASRRegister) Bits() int { return len(r.bits) }
+
+// Set enables (true) or disables (false) the refresh-off bit for a bank.
+func (r *PASRRegister) Set(rank, bank int, off bool) error {
+	if rank < 0 || rank >= r.ranks || bank < 0 || bank >= r.banks {
+		return fmt.Errorf("dram: PASR bit (rank %d, bank %d) out of range %dx%d", rank, bank, r.ranks, r.banks)
+	}
+	r.bits[rank*r.banks+bank] = off
+	return nil
+}
+
+// Off reports whether refresh is disabled for the bank.
+func (r *PASRRegister) Off(rank, bank int) bool {
+	return r.bits[rank*r.banks+bank]
+}
+
+// OffCount reports how many banks of the rank have refresh disabled.
+func (r *PASRRegister) OffCount(rank int) int {
+	n := 0
+	for b := 0; b < r.banks; b++ {
+		if r.bits[rank*r.banks+b] {
+			n++
+		}
+	}
+	return n
+}
+
+// SubArrayGroupRegister is GreenDIMM's control register: one bit per
+// sub-array group. Bit set means the group is in the deep power-down state
+// (refresh stopped, peripheral/I/O gated) in every bank of every rank. The
+// "ready" shadow models the tDPDX exit handshake: after clearing a bit the
+// OS polls Ready before on-lining (paper §4.2).
+type SubArrayGroupRegister struct {
+	groups int
+	down   []bool
+	ready  []bool // true once the group has completed DPD exit
+}
+
+// NewSubArrayGroupRegister builds the register for the organization.
+func NewSubArrayGroupRegister(o Org) *SubArrayGroupRegister {
+	return NewSubArrayGroupRegisterN(o.SubArraysPerBank)
+}
+
+// NewSubArrayGroupRegisterN builds a register over n groups directly (for
+// configurations that manage a different grouping granularity, §5.1).
+func NewSubArrayGroupRegisterN(n int) *SubArrayGroupRegister {
+	r := &SubArrayGroupRegister{groups: n, down: make([]bool, n), ready: make([]bool, n)}
+	for i := range r.ready {
+		r.ready[i] = true
+	}
+	return r
+}
+
+// Bits reports the register width (always the sub-array group count: the
+// paper's point is this stays 64 bits no matter how many ranks exist).
+func (r *SubArrayGroupRegister) Bits() int { return r.groups }
+
+// Groups reports the number of sub-array groups.
+func (r *SubArrayGroupRegister) Groups() int { return r.groups }
+
+// EnterDPD marks group g as deep-powered-down. Entering is immediate from
+// the controller's perspective (the mode-register write is pipelined with
+// normal traffic).
+func (r *SubArrayGroupRegister) EnterDPD(g int) error {
+	if g < 0 || g >= r.groups {
+		return fmt.Errorf("dram: sub-array group %d out of range %d", g, r.groups)
+	}
+	r.down[g] = true
+	r.ready[g] = false
+	return nil
+}
+
+// BeginExit starts waking group g; Ready(g) stays false until
+// CompleteExit is called (the controller schedules that tDPDX later).
+func (r *SubArrayGroupRegister) BeginExit(g int) error {
+	if g < 0 || g >= r.groups {
+		return fmt.Errorf("dram: sub-array group %d out of range %d", g, r.groups)
+	}
+	r.down[g] = false
+	return nil
+}
+
+// CompleteExit marks the group's wake-up finished; Ready becomes true.
+func (r *SubArrayGroupRegister) CompleteExit(g int) {
+	if !r.down[g] {
+		r.ready[g] = true
+	}
+}
+
+// Down reports whether group g is in deep power-down.
+func (r *SubArrayGroupRegister) Down(g int) bool { return r.down[g] }
+
+// Ready reports whether group g has fully exited deep power-down and can
+// accept accesses (the bit the OS polls before online_pages, paper §4.2).
+func (r *SubArrayGroupRegister) Ready(g int) bool { return r.ready[g] }
+
+// DownCount reports how many groups are in deep power-down.
+func (r *SubArrayGroupRegister) DownCount() int {
+	n := 0
+	for _, d := range r.down {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// DownFraction is the fraction of sub-array groups in deep power-down —
+// the quantity that scales background and refresh power in the power model.
+func (r *SubArrayGroupRegister) DownFraction() float64 {
+	return float64(r.DownCount()) / float64(r.groups)
+}

@@ -1,0 +1,143 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPASRRegisterWidth(t *testing.T) {
+	// Paper §4.3: PASR needs 16 bits per rank; the 64GB machine has 16
+	// ranks -> 256 bits. (The paper's 128-bit example is its 8-rank
+	// config.) GreenDIMM needs 64 bits regardless.
+	o := Org64GB()
+	p := NewPASRRegister(o)
+	if got, want := p.Bits(), o.TotalRanks()*o.Banks(); got != want {
+		t.Errorf("PASR bits = %d, want %d", got, want)
+	}
+	g := NewSubArrayGroupRegister(o)
+	if g.Bits() != 64 {
+		t.Errorf("GreenDIMM register bits = %d, want 64", g.Bits())
+	}
+	// Doubling the ranks doubles PASR but leaves GreenDIMM at 64 bits.
+	o2 := o
+	o2.DIMMsPerChannel *= 2
+	if NewPASRRegister(o2).Bits() != 2*p.Bits() {
+		t.Error("PASR register did not scale with ranks")
+	}
+	if NewSubArrayGroupRegister(o2).Bits() != 64 {
+		t.Error("GreenDIMM register scaled with ranks; it must not")
+	}
+}
+
+func TestPASRSetOff(t *testing.T) {
+	p := NewPASRRegister(Org64GB())
+	if err := p.Set(3, 7, true); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Off(3, 7) {
+		t.Error("bit not set")
+	}
+	if p.Off(3, 8) || p.Off(2, 7) {
+		t.Error("neighbouring bits disturbed")
+	}
+	if p.OffCount(3) != 1 || p.OffCount(2) != 0 {
+		t.Error("OffCount wrong")
+	}
+	if err := p.Set(3, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.Off(3, 7) {
+		t.Error("bit not cleared")
+	}
+	if err := p.Set(99, 0, true); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := p.Set(0, 99, true); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+}
+
+func TestSubArrayGroupLifecycle(t *testing.T) {
+	r := NewSubArrayGroupRegister(Org64GB())
+	if r.DownCount() != 0 || r.DownFraction() != 0 {
+		t.Fatal("register not initially all-up")
+	}
+	if !r.Ready(5) {
+		t.Fatal("groups must start ready")
+	}
+	if err := r.EnterDPD(5); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Down(5) || r.Ready(5) {
+		t.Error("EnterDPD: want down and not ready")
+	}
+	if r.DownCount() != 1 {
+		t.Errorf("DownCount = %d, want 1", r.DownCount())
+	}
+	if got := r.DownFraction(); got != 1.0/64 {
+		t.Errorf("DownFraction = %v, want 1/64", got)
+	}
+	// Exit handshake: BeginExit clears down but not ready; CompleteExit
+	// flips ready (the bit the OS polls, paper §4.2).
+	if err := r.BeginExit(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.Down(5) {
+		t.Error("BeginExit left group down")
+	}
+	if r.Ready(5) {
+		t.Error("group ready before CompleteExit")
+	}
+	r.CompleteExit(5)
+	if !r.Ready(5) {
+		t.Error("group not ready after CompleteExit")
+	}
+}
+
+func TestSubArrayGroupCompleteExitIgnoredWhileDown(t *testing.T) {
+	// A stale CompleteExit arriving after the group was re-entered into
+	// DPD must not mark it ready.
+	r := NewSubArrayGroupRegister(Org64GB())
+	if err := r.EnterDPD(9); err != nil {
+		t.Fatal(err)
+	}
+	r.CompleteExit(9)
+	if r.Ready(9) {
+		t.Error("CompleteExit on a down group marked it ready")
+	}
+}
+
+func TestSubArrayGroupBounds(t *testing.T) {
+	r := NewSubArrayGroupRegister(Org64GB())
+	if err := r.EnterDPD(-1); err == nil {
+		t.Error("negative group accepted")
+	}
+	if err := r.EnterDPD(64); err == nil {
+		t.Error("group 64 accepted on 64-group register")
+	}
+	if err := r.BeginExit(64); err == nil {
+		t.Error("BeginExit out of range accepted")
+	}
+}
+
+func TestSubArrayGroupDownFractionProperty(t *testing.T) {
+	// Property: DownFraction always equals DownCount/Groups and stays in
+	// [0,1] under arbitrary enter/exit sequences.
+	f := func(ops []uint8) bool {
+		r := NewSubArrayGroupRegister(Org64GB())
+		for _, op := range ops {
+			g := int(op % 64)
+			if op&0x80 != 0 {
+				_ = r.EnterDPD(g)
+			} else {
+				_ = r.BeginExit(g)
+				r.CompleteExit(g)
+			}
+		}
+		fr := r.DownFraction()
+		return fr >= 0 && fr <= 1 && fr == float64(r.DownCount())/64.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

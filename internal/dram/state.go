@@ -1,0 +1,37 @@
+package dram
+
+// PowerState enumerates the rank-level power states DDR4 exposes to the
+// controller, plus the sub-array deep power-down state GreenDIMM adds.
+// Rank-level states are mutually exclusive per rank; DeepPowerDown applies
+// to sub-array groups and coexists with whatever rank state is active.
+type PowerState int
+
+const (
+	// StateActive: at least one bank has an open row; DLL and I/O on.
+	StateActive PowerState = iota
+	// StatePrechargeStandby: all banks precharged, clock enabled.
+	StatePrechargeStandby
+	// StatePowerDown: CKE low, clock gated, I/O off; exit costs tXP.
+	StatePowerDown
+	// StateSelfRefresh: DLL off, DRAM refreshes itself; exit costs tXS.
+	StateSelfRefresh
+	// StateDeepPowerDown is the GreenDIMM sub-array state: refresh stopped
+	// and peripheral/I/O power-gated for the selected sub-array groups.
+	// Exit costs tDPDX (== tXP, since the DLL stays on; paper §4.3).
+	StateDeepPowerDown
+)
+
+var stateNames = [...]string{"active", "standby", "power-down", "self-refresh", "deep-power-down"}
+
+func (s PowerState) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return "invalid"
+	}
+	return stateNames[s]
+}
+
+// IsLowPower reports whether the state reduces background power relative to
+// standby.
+func (s PowerState) IsLowPower() bool {
+	return s == StatePowerDown || s == StateSelfRefresh || s == StateDeepPowerDown
+}

@@ -1,0 +1,92 @@
+package dram
+
+import (
+	"fmt"
+
+	"greendimm/internal/sim"
+)
+
+// Timing holds the DDR4 timing parameters the controller enforces, all in
+// sim.Time (picoseconds). Values are stored as durations rather than clock
+// counts so the rest of the simulator never needs to know tCK.
+type Timing struct {
+	TCK   sim.Time // clock period
+	TRCD  sim.Time // ACT -> column command
+	TRP   sim.Time // PRE -> ACT
+	TCL   sim.Time // read CAS latency
+	TCWL  sim.Time // write CAS latency
+	TRAS  sim.Time // ACT -> PRE
+	TRC   sim.Time // ACT -> ACT, same bank
+	TBL   sim.Time // data burst duration (BL8: 4 tCK)
+	TCCD  sim.Time // column-to-column, different bank group (tCCD_S)
+	TCCDL sim.Time // column-to-column, same bank group (tCCD_L)
+	TRRD  sim.Time // ACT-to-ACT, different bank group (tRRD_S)
+	TRRDL sim.Time // ACT-to-ACT, same bank group (tRRD_L)
+	TFAW  sim.Time // four-activate window
+	TWR   sim.Time // write recovery
+	TRTP  sim.Time // read to precharge
+	TWTR  sim.Time // write to read turnaround
+	TRFC  sim.Time // refresh cycle time (per REF command)
+	TREFI sim.Time // average refresh interval
+	TXP   sim.Time // power-down exit to first command (paper: 18ns)
+	TXS   sim.Time // self-refresh exit to first command (paper: 768ns)
+	TCKE  sim.Time // minimum power-down residency
+	TDPDX sim.Time // GreenDIMM deep power-down exit (== TXP per paper §4.3)
+}
+
+// DDR4_2133 returns timing for DDR4-2133 (the paper's DIMMs), with tRFC for
+// 4Gb devices. The power-down and self-refresh exit latencies match the
+// values the paper quotes (18ns / 768ns).
+func DDR4_2133() Timing {
+	tck := 938 * sim.Picosecond // 1066.7 MHz, rounded to integer ps
+	ck := func(n int) sim.Time { return sim.Time(n) * tck }
+	return Timing{
+		TCK:   tck,
+		TRCD:  ck(15), // 14.06ns
+		TRP:   ck(15),
+		TCL:   ck(15),
+		TCWL:  ck(11),
+		TRAS:  ck(36), // 33.8ns
+		TRC:   ck(51),
+		TBL:   ck(4),
+		TCCD:  ck(4),
+		TCCDL: ck(6),
+		TRRD:  ck(4),
+		TRRDL: ck(6),
+		TFAW:  ck(26),
+		TWR:   ck(16),
+		TRTP:  ck(8),
+		TWTR:  ck(8),
+		TRFC:  260 * sim.Nanosecond, // 4Gb device tRFC1
+		TREFI: 7800 * sim.Nanosecond,
+		TXP:   18 * sim.Nanosecond,
+		TXS:   768 * sim.Nanosecond,
+		TCKE:  ck(6),
+		TDPDX: 18 * sim.Nanosecond,
+	}
+}
+
+// DDR4_2133_8Gb is the 8Gb-device variant (256GB machine): longer tRFC.
+func DDR4_2133_8Gb() Timing {
+	t := DDR4_2133()
+	t.TRFC = 350 * sim.Nanosecond
+	return t
+}
+
+// Validate sanity-checks the parameter relationships that the bank state
+// machine relies on.
+func (t Timing) Validate() error {
+	switch {
+	case t.TCK <= 0:
+		return fmt.Errorf("dram: non-positive tCK")
+	case t.TRC < t.TRAS+t.TRP:
+		return fmt.Errorf("dram: tRC %v < tRAS %v + tRP %v", t.TRC, t.TRAS, t.TRP)
+	case t.TREFI <= t.TRFC:
+		return fmt.Errorf("dram: tREFI %v <= tRFC %v leaves no service time", t.TREFI, t.TRFC)
+	case t.TXS < t.TXP:
+		return fmt.Errorf("dram: self-refresh exit %v faster than power-down exit %v", t.TXS, t.TXP)
+	case t.TDPDX > t.TXP:
+		return fmt.Errorf("dram: deep power-down exit %v slower than power-down exit %v (violates paper §4.3)", t.TDPDX, t.TXP)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package exp
+
+import (
+	"greendimm/internal/hotplug"
+	"greendimm/internal/kernel"
+)
+
+// hpManager aliases the hotplug manager type so ablation helpers read
+// cleanly.
+type hpManager = *hotplug.Manager
+
+// newHotplugBlock builds a hotplug manager with the given block size.
+func newHotplugBlock(mem *kernel.Mem, blockBytes int64, seed int64) (hpManager, error) {
+	return hotplug.New(mem, hotplug.Config{BlockBytes: blockBytes, Seed: seed})
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblations(t *testing.T) {
+	r, err := RunAblations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(tb interface {
+		Value(r, c int) string
+		Rows() int
+	}, row, col int) float64 {
+		v, err := strconv.ParseFloat(tb.Value(row, col), 64)
+		if err != nil {
+			t.Fatalf("non-numeric cell: %v", err)
+		}
+		return v
+	}
+
+	// Neighbor rule: never increases DPD coverage for the same workload.
+	without := cell(r.NeighborRule, 0, 1)
+	with := cell(r.NeighborRule, 1, 1)
+	if with > without {
+		t.Errorf("neighbor rule increased DPD fraction: %.3f > %.3f", with, without)
+	}
+
+	// Thresholds: a smaller reserve off-lines more capacity.
+	off5 := cell(r.Thresholds, 0, 0)
+	off20 := cell(r.Thresholds, 2, 0)
+	if off5 <= off20 {
+		t.Errorf("off_thr 5%% off-lined %.2fGB <= 20%% reserve %.2fGB", off5, off20)
+	}
+
+	// Group size: finer groups -> at least as much DPD coverage.
+	fine := cell(r.GroupSize, 0, 1)
+	coarse := cell(r.GroupSize, 2, 1)
+	if fine < coarse-0.01 {
+		t.Errorf("512MB groups DPD %.3f below 2GB groups %.3f", fine, coarse)
+	}
+
+	// DPD residual: power grows monotonically with residual.
+	prev := 0.0
+	for i := 0; i < r.DPDResidual.Rows(); i++ {
+		w := cell(r.DPDResidual, i, 0)
+		if w < prev {
+			t.Errorf("residual row %d: power %f below previous %f", i, w, prev)
+		}
+		prev = w
+	}
+
+	// Idle policy: aggressive sleeps at least as much as conservative and
+	// pays at least as many wake-ups.
+	aggSR, aggWake := cell(r.IdlePolicy, 0, 0), cell(r.IdlePolicy, 0, 1)
+	conSR, conWake := cell(r.IdlePolicy, 2, 0), cell(r.IdlePolicy, 2, 1)
+	if aggSR < conSR {
+		t.Errorf("aggressive policy slept less: %.3f < %.3f", aggSR, conSR)
+	}
+	if aggWake < conWake {
+		t.Errorf("aggressive policy woke less: %v < %v", aggWake, conWake)
+	}
+	t.Logf("\n%s", r.String())
+}

@@ -1,0 +1,39 @@
+// Package exp contains one entry point per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each RunXxx
+// function assembles the substrates — engine, kernel memory, hotplug,
+// memory controller or register controller, KSM, VM trace, workloads, the
+// GreenDIMM daemon — runs the experiment, and returns a result struct
+// whose Table/Series methods render the same rows the paper reports.
+//
+// Two simulation scales are used (DESIGN.md §3): detailed request-level
+// runs for anything timing-sensitive, and 1-second epoch runs for the
+// 24-hour VM-trace studies. Every experiment takes Options so tests can
+// run a Quick variant with identical structure.
+package exp
+
+import "greendimm/internal/sim"
+
+// Options scales an experiment.
+type Options struct {
+	// Quick shrinks horizons and access budgets for CI/tests; results
+	// keep their shape but carry more noise.
+	Quick bool
+	Seed  int64
+}
+
+// accessBudget picks the per-core number of DRAM accesses for detailed
+// runs.
+func (o Options) accessBudget(full int64) int64 {
+	if o.Quick {
+		return full / 10
+	}
+	return full
+}
+
+// horizon picks a simulated duration.
+func (o Options) horizon(full sim.Time) sim.Time {
+	if o.Quick {
+		return full / 8
+	}
+	return full
+}

@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"fmt"
+
+	"greendimm/internal/core"
+	"greendimm/internal/report"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+// blockDynDefaults is the §5.1/§5.2 experimental setup: the 64GB machine
+// with a movablecore=4G off-linable region, 128MB sub-array groups (the
+// paper's "a memory block maps to one sub-array group" granularity for
+// this study), and a 120s dynamics window.
+func blockDynDefaults(prof workload.Profile, blockMB int64, opts Options) dynamicsConfig {
+	// Dynamics runs simulate no individual memory requests, so they are
+	// cheap enough to run at full length even in Quick mode — and the
+	// footprint-vs-daemon interaction only has the paper's shape at the
+	// real 1-second monitor period over a full-length run.
+	return dynamicsConfig{
+		prof:      prof,
+		blockMB:   blockMB,
+		duration:  120 * sim.Second,
+		policy:    core.SelectFreeFirst,
+		movableGB: 4,
+		groupMB:   128,
+		seed:      opts.Seed + 31,
+	}
+}
+
+// --- Figures 6 and 7 + Table 2: the block-size sweep ---
+
+// BlockSizeCell is one (app, block size) measurement.
+type BlockSizeCell struct {
+	App               string
+	BlockMB           int64
+	OfflinedGB        float64 // Fig. 6
+	OverheadPct       float64 // Fig. 7
+	OnOffEvents       int64   // Table 2
+	Offlines, Onlines int64
+}
+
+// BlockSizeResult is the full sweep.
+type BlockSizeResult struct {
+	Cells []BlockSizeCell
+}
+
+// RunBlockSizeSweep reproduces Figs. 6/7 and Table 2 in one pass: the six
+// §5.1 applications at 128/256/512MB memory blocks.
+func RunBlockSizeSweep(opts Options) (BlockSizeResult, error) {
+	apps, err := specDynApps()
+	if err != nil {
+		return BlockSizeResult{}, err
+	}
+	var res BlockSizeResult
+	for _, prof := range apps {
+		for _, blockMB := range []int64{128, 256, 512} {
+			run, err := runDynamics(blockDynDefaults(prof, blockMB, opts))
+			if err != nil {
+				return BlockSizeResult{}, fmt.Errorf("%s/%dMB: %w", prof.Name, blockMB, err)
+			}
+			res.Cells = append(res.Cells, BlockSizeCell{
+				App:         prof.Name,
+				BlockMB:     blockMB,
+				OfflinedGB:  run.OfflinedAvgBytes / float64(1<<30),
+				OverheadPct: run.OverheadFrac * 100,
+				OnOffEvents: run.OnOffEvents,
+				Offlines:    run.Offlines,
+				Onlines:     run.Onlines,
+			})
+		}
+	}
+	return res, nil
+}
+
+// cellsFor collects one app's three block sizes in order.
+func (r BlockSizeResult) cellsFor(app string) []BlockSizeCell {
+	var out []BlockSizeCell
+	for _, blockMB := range []int64{128, 256, 512} {
+		for _, c := range r.Cells {
+			if c.App == app && c.BlockMB == blockMB {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// apps lists the distinct applications in row order.
+func (r BlockSizeResult) apps() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.App] {
+			seen[c.App] = true
+			out = append(out, c.App)
+		}
+	}
+	return out
+}
+
+// Fig6Table renders the off-lined capacity grid.
+func (r BlockSizeResult) Fig6Table() *report.Table {
+	t := report.NewTable("Figure 6: off-lined capacity vs memory-block size (GB, time-averaged)",
+		"128MB", "256MB", "512MB")
+	for _, app := range r.apps() {
+		cells := r.cellsFor(app)
+		t.AddRow(app, cells[0].OfflinedGB, cells[1].OfflinedGB, cells[2].OfflinedGB)
+	}
+	return t
+}
+
+// Fig7Table renders the execution-time increase grid.
+func (r BlockSizeResult) Fig7Table() *report.Table {
+	t := report.NewTable("Figure 7: execution-time increase vs memory-block size (%)",
+		"128MB", "256MB", "512MB")
+	for _, app := range r.apps() {
+		cells := r.cellsFor(app)
+		t.AddRow(app, cells[0].OverheadPct, cells[1].OverheadPct, cells[2].OverheadPct)
+	}
+	return t
+}
+
+// Table2 renders the on/off-lining event counts.
+func (r BlockSizeResult) Table2() *report.Table {
+	t := report.NewTable("Table 2: number of on-lined + off-lined blocks vs block size",
+		"128MB", "256MB", "512MB")
+	for _, app := range r.apps() {
+		cells := r.cellsFor(app)
+		t.AddRow(app, float64(cells[0].OnOffEvents), float64(cells[1].OnOffEvents),
+			float64(cells[2].OnOffEvents))
+	}
+	return t
+}
+
+// --- Table 3: on/off-lining latencies ---
+
+// Table3Result holds the measured latency means while running mcf.
+type Table3Result struct {
+	OfflineMs float64
+	OnlineMs  float64
+	EAgainMs  float64
+	EBusyMs   float64
+}
+
+// RunTable3 reproduces Table 3: latencies under mcf with 128MB blocks.
+// The success path comes from the production free-first policy; the
+// failure paths are exercised with the random policy over a region salted
+// with kernel pages.
+func RunTable3(opts Options) (Table3Result, error) {
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		return Table3Result{}, fmt.Errorf("exp: mcf missing")
+	}
+	okCfg := blockDynDefaults(prof, 128, opts)
+	okRun, err := runDynamics(okCfg)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	failCfg := blockDynDefaults(prof, 128, opts)
+	failCfg.policy = core.SelectRandom
+	failCfg.failProb = 0.9
+	failCfg.leakEvery = 3
+	failRun, err := runDynamics(failCfg)
+	if err != nil {
+		return Table3Result{}, err
+	}
+	return Table3Result{
+		OfflineMs: okRun.OfflineLatMeanMs,
+		OnlineMs:  okRun.OnlineLatMeanMs,
+		EAgainMs:  failRun.EAgainLatMeanMs,
+		EBusyMs:   failRun.EBusyLatMeanMs,
+	}, nil
+}
+
+// Table renders Table 3.
+func (r Table3Result) Table() *report.Table {
+	t := report.NewTable("Table 3: average latency of on/off-lining events (mcf, 128MB blocks)", "ms")
+	t.AddRow("off-lining", r.OfflineMs)
+	t.AddRow("on-lining", r.OnlineMs)
+	t.AddRow("failure (EAGAIN)", r.EAgainMs)
+	t.AddRow("failure (EBUSY)", r.EBusyMs)
+	return t
+}
+
+// --- Figure 8: off-lining failures by selection policy ---
+
+// Fig8Row is one application's failure counts.
+type Fig8Row struct {
+	App               string
+	RandomFailures    int64
+	RandomEAgain      int64
+	RemovableFailures int64
+	RemovableEAgain   int64
+}
+
+// Fig8Result is the policy comparison.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// RunFig8 reproduces Fig. 8: the number of off-lining failures when
+// blocks are chosen randomly vs removable-first.
+func RunFig8(opts Options) (Fig8Result, error) {
+	apps, err := specDynApps()
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	var res Fig8Result
+	for _, prof := range apps {
+		row := Fig8Row{App: prof.Name}
+		for _, policy := range []core.SelectPolicy{core.SelectRandom, core.SelectRemovableFirst} {
+			cfg := blockDynDefaults(prof, 128, opts)
+			cfg.policy = policy
+			cfg.failProb = 0.9
+			cfg.leakEvery = 3
+			run, err := runDynamics(cfg)
+			if err != nil {
+				return Fig8Result{}, err
+			}
+			if policy == core.SelectRandom {
+				row.RandomFailures = run.EBusyFailures + run.EAgainFailures
+				row.RandomEAgain = run.EAgainFailures
+			} else {
+				row.RemovableFailures = run.EBusyFailures + run.EAgainFailures
+				row.RemovableEAgain = run.EAgainFailures
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders Fig. 8.
+func (r Fig8Result) Table() *report.Table {
+	t := report.NewTable("Figure 8: off-lining failures, random vs removable-first selection",
+		"random", "random EAGAIN", "removable-first", "removable EAGAIN")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, float64(row.RandomFailures), float64(row.RandomEAgain),
+			float64(row.RemovableFailures), float64(row.RemovableEAgain))
+	}
+	return t
+}
+
+// ReductionFrac reports the overall failure reduction from checking
+// `removable` (paper: ~50%).
+func (r Fig8Result) ReductionFrac() float64 {
+	var rnd, rem int64
+	for _, row := range r.Rows {
+		rnd += row.RandomFailures
+		rem += row.RemovableFailures
+	}
+	if rnd == 0 {
+		return 0
+	}
+	return 1 - float64(rem)/float64(rnd)
+}

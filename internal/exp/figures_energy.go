@@ -1,0 +1,246 @@
+package exp
+
+import (
+	"fmt"
+
+	"greendimm/internal/baseline"
+	"greendimm/internal/core"
+	"greendimm/internal/dram"
+	"greendimm/internal/power"
+	"greendimm/internal/report"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+// PolicyEnergy holds one workload x mapping's energy under each policy.
+type PolicyEnergy struct {
+	SrfOnly   float64
+	RAMZzz    float64
+	PASR      float64
+	GreenDIMM float64
+}
+
+// EnergyRow is one application of the Figs. 9/10 matrix, holding DRAM and
+// system energy in joules for both mappings and all four policies.
+type EnergyRow struct {
+	App    string
+	DRAM   struct{ Intlv, Contig PolicyEnergy }
+	System struct{ Intlv, Contig PolicyEnergy }
+	// OverheadPct is GreenDIMM's execution-time increase (Fig. 11).
+	OverheadPct     float64
+	LatencyCritical bool
+}
+
+// EnergyResult is the full evaluation matrix.
+type EnergyResult struct {
+	Rows []EnergyRow
+}
+
+// evalApps is the paper's §6 workload list.
+func evalApps() []workload.Profile {
+	var out []workload.Profile
+	out = append(out, workload.SPEC2006()...)
+	out = append(out, workload.SPEC2017()...)
+	out = append(out, workload.Datacenter()...)
+	return out
+}
+
+// RunEnergyMatrix reproduces Figs. 9, 10 and 11: for every workload it
+// runs the detailed simulator with and without interleaving, models
+// RAMZzz/PASR from the occupancy scan (as the paper does), and runs the
+// GreenDIMM dynamics pass for the deep-power-down fraction and overhead.
+func RunEnergyMatrix(opts Options) (EnergyResult, error) {
+	model, err := power.NewModel(dram.Org64GB())
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	sys := power.DefaultSystem()
+	var res EnergyResult
+	for _, prof := range evalApps() {
+		row := EnergyRow{App: prof.Name, LatencyCritical: prof.LatencyCritical}
+
+		// GreenDIMM dynamics: whole memory off-linable; memory blocks
+		// sized to the 64GB machine's 1GB sub-array groups (§4.1), and
+		// the footprint scaled to the multiprogrammed degree the timing
+		// run uses.
+		dynProf := prof
+		dynProf.FootprintMB *= int64(copiesFor(prof))
+		if dynProf.FootprintMB > 48<<10 {
+			dynProf.FootprintMB = 48 << 10
+		}
+		dyn, err := runDynamics(dynamicsConfig{
+			prof:     dynProf,
+			blockMB:  1024,
+			duration: 120 * sim.Second, // cheap: no request-level simulation
+			policy:   core.SelectFreeFirst,
+			seed:     opts.Seed + 41,
+		})
+		if err != nil {
+			return EnergyResult{}, fmt.Errorf("%s dynamics: %w", prof.Name, err)
+		}
+		row.OverheadPct = dyn.OverheadFrac * 100
+
+		for _, intlv := range []bool{true, false} {
+			run, err := runTiming(timingConfig{
+				prof:        prof,
+				interleaved: intlv,
+				copies:      copiesFor(prof),
+				accesses:    opts.accessBudget(25000),
+				seed:        opts.Seed + 42,
+			})
+			if err != nil {
+				return EnergyResult{}, fmt.Errorf("%s timing: %w", prof.Name, err)
+			}
+			pe, se, err := policyEnergies(model, sys, run, dyn)
+			if err != nil {
+				return EnergyResult{}, err
+			}
+			if intlv {
+				row.DRAM.Intlv, row.System.Intlv = pe, se
+			} else {
+				row.DRAM.Contig, row.System.Contig = pe, se
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// policyEnergies computes DRAM and system energy for the four policies
+// from one timing run plus the GreenDIMM dynamics result.
+func policyEnergies(model *power.Model, sys power.SystemModel, run TimingRun, dyn DynamicsRun) (PolicyEnergy, PolicyEnergy, error) {
+	seconds := run.Runtime.Seconds()
+	energy := func(a power.Activity, extraT float64) (float64, float64, error) {
+		w, err := dramPowerW(model, a)
+		if err != nil {
+			return 0, 0, err
+		}
+		t := seconds * (1 + extraT)
+		return w * t, sys.SystemW(run.CPUUtil, w) * t, nil
+	}
+	var pe, se PolicyEnergy
+	var err error
+	if pe.SrfOnly, se.SrfOnly, err = energy(run.Activity, 0); err != nil {
+		return pe, se, err
+	}
+	if pe.RAMZzz, se.RAMZzz, err = energy(baseline.ApplyRAMZzz(run.Activity, run.Occupancy), 0); err != nil {
+		return pe, se, err
+	}
+	if pe.PASR, se.PASR, err = energy(baseline.ApplyPASR(run.Activity, run.Occupancy), 0); err != nil {
+		return pe, se, err
+	}
+	gd := run.Activity
+	if dyn.AvgDPDFrac > gd.DPDFrac {
+		gd.DPDFrac = dyn.AvgDPDFrac
+	}
+	if pe.GreenDIMM, se.GreenDIMM, err = energy(gd, dyn.OverheadFrac); err != nil {
+		return pe, se, err
+	}
+	return pe, se, nil
+}
+
+// normalize divides by the w/o-intlv srf_only value, the paper's baseline.
+func normalize(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return v / base
+}
+
+// Fig9Table renders DRAM energy normalized to "w/o intlv, srf_only".
+func (r EnergyResult) Fig9Table() *report.Table {
+	t := report.NewTable("Figure 9: DRAM energy (normalized to w/o-intlv srf_only)",
+		"w/ srf", "w/ ramzzz", "w/ pasr", "w/ greendimm",
+		"w/o srf", "w/o ramzzz", "w/o pasr", "w/o greendimm")
+	for _, row := range r.Rows {
+		base := row.DRAM.Contig.SrfOnly
+		t.AddRow(row.App,
+			normalize(row.DRAM.Intlv.SrfOnly, base),
+			normalize(row.DRAM.Intlv.RAMZzz, base),
+			normalize(row.DRAM.Intlv.PASR, base),
+			normalize(row.DRAM.Intlv.GreenDIMM, base),
+			1.0,
+			normalize(row.DRAM.Contig.RAMZzz, base),
+			normalize(row.DRAM.Contig.PASR, base),
+			normalize(row.DRAM.Contig.GreenDIMM, base),
+		)
+	}
+	return t
+}
+
+// Fig10Table renders system energy normalized the same way.
+func (r EnergyResult) Fig10Table() *report.Table {
+	t := report.NewTable("Figure 10: system energy (normalized to w/o-intlv srf_only)",
+		"w/ srf", "w/ ramzzz", "w/ pasr", "w/ greendimm",
+		"w/o srf", "w/o ramzzz", "w/o pasr", "w/o greendimm")
+	for _, row := range r.Rows {
+		base := row.System.Contig.SrfOnly
+		t.AddRow(row.App,
+			normalize(row.System.Intlv.SrfOnly, base),
+			normalize(row.System.Intlv.RAMZzz, base),
+			normalize(row.System.Intlv.PASR, base),
+			normalize(row.System.Intlv.GreenDIMM, base),
+			1.0,
+			normalize(row.System.Contig.RAMZzz, base),
+			normalize(row.System.Contig.PASR, base),
+			normalize(row.System.Contig.GreenDIMM, base),
+		)
+	}
+	return t
+}
+
+// Fig11Table renders GreenDIMM's execution-time overhead.
+func (r EnergyResult) Fig11Table() *report.Table {
+	t := report.NewTable("Figure 11: execution-time increase under GreenDIMM (%)", "overhead %")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.OverheadPct)
+	}
+	return t
+}
+
+// MeanDRAMSavingsPct reports GreenDIMM's average DRAM power reduction
+// with interleaving vs srf_only-with-interleaving, split SPEC vs
+// datacenter (the paper's 38%/60% headline).
+func (r EnergyResult) MeanDRAMSavingsPct() (spec, datacenter float64) {
+	var sSum, dSum float64
+	var sN, dN int
+	for _, row := range r.Rows {
+		if row.DRAM.Intlv.SrfOnly == 0 {
+			continue
+		}
+		saving := (1 - row.DRAM.Intlv.GreenDIMM/row.DRAM.Intlv.SrfOnly) * 100
+		if _, ok := dcNames[row.App]; ok {
+			dSum += saving
+			dN++
+		} else {
+			sSum += saving
+			sN++
+		}
+	}
+	if sN > 0 {
+		spec = sSum / float64(sN)
+	}
+	if dN > 0 {
+		datacenter = dSum / float64(dN)
+	}
+	return spec, datacenter
+}
+
+var dcNames = func() map[string]struct{} {
+	m := map[string]struct{}{}
+	for _, p := range workload.Datacenter() {
+		m[p.Name] = struct{}{}
+	}
+	return m
+}()
+
+// MaxOverheadPct reports the worst execution-time increase (paper: <3%).
+func (r EnergyResult) MaxOverheadPct() float64 {
+	m := 0.0
+	for _, row := range r.Rows {
+		if row.OverheadPct > m {
+			m = row.OverheadPct
+		}
+	}
+	return m
+}

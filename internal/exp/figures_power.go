@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/power"
+	"greendimm/internal/report"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+// --- Figure 2: DRAM idle and busy power vs capacity ---
+
+// Fig2Row is one capacity point.
+type Fig2Row struct {
+	CapacityGB int
+	IdleW      float64
+	BusyW      float64
+	BGFraction float64 // background share of busy power
+}
+
+// Fig2Result is the capacity sweep.
+type Fig2Result struct {
+	Rows []Fig2Row
+	// MeasuredBusyGBps is the aggregate bandwidth of the 16-copy mcf
+	// load, measured once with the detailed simulator and applied at
+	// every capacity (the paper does the same: one fixed stressor).
+	MeasuredBusyGBps float64
+}
+
+// RunFig2 reproduces Fig. 2: idle power from the standby+refresh model,
+// busy power with 16 copies of mcf. The stressor's bandwidth is measured
+// on the detailed simulator at 64GB and held constant across capacities.
+func RunFig2(opts Options) (Fig2Result, error) {
+	prof, ok := workload.ByName("429.mcf")
+	if !ok {
+		return Fig2Result{}, fmt.Errorf("exp: mcf profile missing")
+	}
+	run, err := runTiming(timingConfig{
+		prof:        prof,
+		interleaved: true,
+		copies:      8, // the multiprogrammed stressor
+		accesses:    opts.accessBudget(40000),
+		seed:        opts.Seed + 11,
+	})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	lines := run.Activity.Reads + run.Activity.Writes
+	gbps := float64(lines*64) / run.Runtime.Seconds() / float64(1<<30)
+	res := Fig2Result{MeasuredBusyGBps: gbps}
+
+	for _, gb := range []int{64, 128, 256, 512, 1024} {
+		org, err := dram.OrgWithCapacity(gb)
+		if err != nil {
+			return Fig2Result{}, err
+		}
+		model, err := power.NewModel(org)
+		if err != nil {
+			return Fig2Result{}, err
+		}
+		row := Fig2Row{CapacityGB: gb, IdleW: model.IdleSystemDRAMW()}
+		window := sim.Second
+		ranks := int64(org.TotalRanks())
+		busyLines := int64(gbps * float64(1<<30) / 64)
+		a := power.Activity{
+			Window:      window,
+			ActiveT:     window * sim.Time(ranks),
+			Refreshes:   int64(window/model.Timing.TREFI) * ranks,
+			Activations: busyLines / 2,
+			Reads:       busyLines * 3 / 4,
+			Writes:      busyLines / 4,
+		}
+		b, err := model.FromActivity(a)
+		if err != nil {
+			return Fig2Result{}, err
+		}
+		row.BusyW = b.TotalW()
+		row.BGFraction = b.BackgroundFraction()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders Fig. 2.
+func (r Fig2Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 2: DRAM idle/busy power vs capacity (busy = mcf stressor, %.1f GB/s)", r.MeasuredBusyGBps),
+		"idle W", "busy W", "background frac")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%dGB", row.CapacityGB), row.IdleW, row.BusyW, row.BGFraction)
+	}
+	return t
+}
+
+// --- Figure 3: the impact of memory interleaving ---
+
+// Fig3Row is one application's interleaving comparison.
+type Fig3Row struct {
+	App           string
+	Speedup       float64 // T(w/o intlv) / T(w/ intlv)  (Fig. 3a)
+	SRFracIntlv   float64 // self-refresh residency w/ interleaving (Fig. 3b)
+	SRFracContig  float64 // and without
+	EnergyIntlvJ  float64 // DRAM energy (Fig. 3c)
+	EnergyContigJ float64
+	SystemIntlvJ  float64
+	SystemContigJ float64
+}
+
+// Fig3Result covers the high-MPKI SPEC2006 set.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// RunFig3 reproduces Fig. 3 with the high-MPKI SPEC CPU2006 programs.
+func RunFig3(opts Options) (Fig3Result, error) {
+	var res Fig3Result
+	sys := power.DefaultSystem()
+	model, err := power.NewModel(dram.Org64GB())
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	for _, prof := range workload.SPEC2006() {
+		if !prof.HighMPKI() {
+			continue
+		}
+		var runs [2]TimingRun
+		for i, intlv := range []bool{true, false} {
+			runs[i], err = runTiming(timingConfig{
+				prof:        prof,
+				interleaved: intlv,
+				copies:      copiesFor(prof),
+				accesses:    opts.accessBudget(30000),
+				seed:        opts.Seed + 21,
+			})
+			if err != nil {
+				return Fig3Result{}, err
+			}
+		}
+		wi, wo := runs[0], runs[1]
+		dramWi, err := dramPowerW(model, wi.Activity)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		dramWo, err := dramPowerW(model, wo.Activity)
+		if err != nil {
+			return Fig3Result{}, err
+		}
+		row := Fig3Row{
+			App:           prof.Name,
+			Speedup:       float64(wo.Runtime) / float64(wi.Runtime),
+			SRFracIntlv:   wi.SelfRefFrac,
+			SRFracContig:  wo.SelfRefFrac,
+			EnergyIntlvJ:  dramWi * wi.Runtime.Seconds(),
+			EnergyContigJ: dramWo * wo.Runtime.Seconds(),
+			SystemIntlvJ:  sys.SystemW(wi.CPUUtil, dramWi) * wi.Runtime.Seconds(),
+			SystemContigJ: sys.SystemW(wo.CPUUtil, dramWo) * wo.Runtime.Seconds(),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders Fig. 3's three panels as columns.
+func (r Fig3Result) Table() *report.Table {
+	t := report.NewTable("Figure 3: impact of memory interleaving (high-MPKI SPEC2006)",
+		"speedup", "sr-frac w/", "sr-frac w/o", "dram J w/", "dram J w/o", "sys J w/", "sys J w/o")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.Speedup, row.SRFracIntlv, row.SRFracContig,
+			row.EnergyIntlvJ, row.EnergyContigJ, row.SystemIntlvJ, row.SystemContigJ)
+	}
+	return t
+}
+
+// MeanSpeedup reports the geometric-mean interleaving speedup.
+func (r Fig3Result) MeanSpeedup() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, row := range r.Rows {
+		prod *= row.Speedup
+	}
+	return math.Pow(prod, 1/float64(len(r.Rows)))
+}
+
+// MeanSRFrac reports the average self-refresh residency without
+// interleaving (the paper's 54% figure).
+func (r Fig3Result) MeanSRFrac() (withIntlv, withoutIntlv float64) {
+	if len(r.Rows) == 0 {
+		return 0, 0
+	}
+	for _, row := range r.Rows {
+		withIntlv += row.SRFracIntlv
+		withoutIntlv += row.SRFracContig
+	}
+	n := float64(len(r.Rows))
+	return withIntlv / n, withoutIntlv / n
+}

@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"fmt"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/power"
+	"greendimm/internal/report"
+)
+
+// HWCostResult reproduces the paper's §4.3 hardware-cost argument:
+// PASR's refresh-enable register grows with the rank count (16 bits per
+// rank), while GreenDIMM needs a fixed 64 bits no matter how much memory
+// is plugged in, because one bit controls a sub-array group across every
+// channel, rank and bank. Plus the CACTI-style die-area estimate for the
+// power-gate switches.
+type HWCostResult struct {
+	Register *report.Table
+	Area     *report.Table
+}
+
+// RunHWCost computes both tables.
+func RunHWCost() (HWCostResult, error) {
+	reg := report.NewTable("Control-register width: PASR vs GreenDIMM (bits)",
+		"ranks", "pasr bits", "greendimm bits")
+	for _, gb := range []int{64, 128, 256, 512, 1024} {
+		org, err := dram.OrgWithCapacity(gb)
+		if err != nil {
+			return HWCostResult{}, err
+		}
+		pasr := dram.NewPASRRegister(org)
+		gd := dram.NewSubArrayGroupRegister(org)
+		reg.AddRow(fmt.Sprintf("%dGB", gb),
+			float64(org.TotalRanks()), float64(pasr.Bits()), float64(gd.Bits()))
+	}
+
+	cost := power.DefaultDPDCost()
+	if err := cost.Validate(); err != nil {
+		return HWCostResult{}, err
+	}
+	area := report.NewTable("Sub-array deep power-down die cost (paper §4.3)", "value")
+	area.AddRow("switch area per sub-array (um^2)", cost.SwitchAreaUm2)
+	area.AddRow("switch area fraction of die (%)", cost.SwitchAreaFraction()*100)
+	area.AddRow("total incl. control logic (%)", cost.TotalAreaFraction()*100)
+	area.AddRowStrings("exit latency", cost.ExitLatency.String())
+	return HWCostResult{Register: reg, Area: area}, nil
+}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestHWCost(t *testing.T) {
+	r, err := RunHWCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Register.Rows() != 5 {
+		t.Fatalf("register rows = %d", r.Register.Rows())
+	}
+	// GreenDIMM stays at 64 bits at every capacity; PASR grows with ranks.
+	var prevPASR float64
+	for i := 0; i < r.Register.Rows(); i++ {
+		gd, _ := strconv.ParseFloat(r.Register.Value(i, 2), 64)
+		if gd != 64 {
+			t.Errorf("row %d: GreenDIMM bits = %v, want 64", i, gd)
+		}
+		pasr, _ := strconv.ParseFloat(r.Register.Value(i, 1), 64)
+		if pasr < prevPASR {
+			t.Errorf("row %d: PASR bits shrank", i)
+		}
+		prevPASR = pasr
+	}
+	t.Logf("\n%s\n%s", r.Register, r.Area)
+}

@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"testing"
+
+	"greendimm/internal/core"
+	"greendimm/internal/dram"
+	"greendimm/internal/hotplug"
+	"greendimm/internal/kernel"
+	"greendimm/internal/mc"
+	"greendimm/internal/sim"
+	"greendimm/internal/workload"
+)
+
+// TestNoAccessEverReachesPoweredDownDRAM is the end-to-end safety
+// invariant behind GreenDIMM's zero-wake-up claim: with a live workload
+// whose footprint grows and shrinks, a real allocator, hotplug churn and
+// the daemon flipping sub-array groups, no memory request may ever target
+// a deep-powered-down group. mc.Controller.Submit panics if one does, so
+// surviving the run IS the assertion.
+func TestNoAccessEverReachesPoweredDownDRAM(t *testing.T) {
+	org := dram.Org64GB()
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{
+		TotalBytes:          org.TotalBytes(),
+		PageBytes:           1 << 20,
+		KernelReservedBytes: 1 << 30,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := mc.New(eng, mc.Config{
+		Org: org, Timing: dram.DDR4_2133(), Interleaved: true, LowPower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := hotplug.New(mem, hotplug.Config{BlockBytes: 512 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon, err := core.New(eng, mem, hp, ctrl, core.Config{
+		Period:            20 * sim.Millisecond, // compressed for the test window
+		MaxOfflinePerTick: 16,
+		GroupBytes:        1 << 30,
+		OnThr:             0.08,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An oscillating footprint forces on-lining into previously
+	// powered-down groups while traffic keeps flowing.
+	prof := workload.Profile{
+		Name: "churn", MPKI: 30, FootprintMB: 4096, IPC: 1, MLP: 4,
+		ReadFrac: 0.7, SeqProb: 0.5,
+		Phases: []workload.PhasePoint{
+			{Progress: 0, Frac: 0.2}, {Progress: 0.25, Frac: 1},
+			{Progress: 0.5, Frac: 0.2}, {Progress: 0.75, Frac: 1},
+			{Progress: 1, Frac: 0.2},
+		},
+	}
+	fd, err := workload.NewFootprintDriver(eng, mem, prof, 60, 400*sim.Millisecond, 5*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sim.NewRNG(11)
+	var traffic func()
+	traffic = func() {
+		if n := mem.OwnerPageCount(60); n > 0 {
+			pfn := mem.OwnerPage(60, g.Int63n(n))
+			off := uint64(g.Int63n(mem.PageBytes()/64) * 64)
+			// Submit panics if the address maps to a powered-down group.
+			_ = ctrl.Submit(uint64(pfn)*uint64(mem.PageBytes())+off, g.Bool(0.3), nil)
+		}
+		if eng.Now() < 400*sim.Millisecond {
+			eng.After(2*sim.Microsecond, traffic)
+		}
+	}
+	fd.Start()
+	daemon.Start()
+	eng.At(0, traffic)
+	eng.RunUntil(400 * sim.Millisecond)
+	ctrl.Finalize()
+
+	ds := daemon.Stats()
+	if ds.Offlines == 0 {
+		t.Fatal("daemon never off-lined; the invariant was not exercised")
+	}
+	if ds.Onlines == 0 {
+		t.Fatal("daemon never on-lined; growth into powered-down memory was not exercised")
+	}
+	if ds.GroupsEntered == 0 || ds.GroupsExited == 0 {
+		t.Fatalf("groups never cycled: %+v", ds)
+	}
+	st := ctrl.Stats()
+	if st.Reads+st.Writes == 0 {
+		t.Fatal("no traffic flowed")
+	}
+	t.Logf("survived: %d reads/writes, %d offlines, %d onlines, %d group entries, %d exits",
+		st.Reads+st.Writes, ds.Offlines, ds.Onlines, ds.GroupsEntered, ds.GroupsExited)
+}

@@ -1,0 +1,42 @@
+package exp
+
+import "testing"
+
+func TestRAMZzzIntegration(t *testing.T) {
+	r, err := RunRAMZzz(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	contigBase, err := r.Find(false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contigRZ, err := r.Find(false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intlvRZ, err := r.Find(true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consolidation must migrate pages and raise self-refresh residency
+	// under the contiguous mapping...
+	if contigRZ.MigratedPages == 0 {
+		t.Error("RAMZzz migrated nothing under contiguous mapping")
+	}
+	if contigRZ.SRFraction <= contigBase.SRFraction {
+		t.Errorf("RAMZzz did not raise SR residency: %.3f vs %.3f",
+			contigRZ.SRFraction, contigBase.SRFraction)
+	}
+	// ...and be inert under interleaving (the paper's criticism).
+	if intlvRZ.MigratedPages != 0 {
+		t.Errorf("RAMZzz migrated %d pages under interleaving", intlvRZ.MigratedPages)
+	}
+	if intlvRZ.SRFraction > 0.10 {
+		t.Errorf("interleaved SR residency = %.3f, want ~0", intlvRZ.SRFraction)
+	}
+	t.Logf("\n%s", r.Table())
+}

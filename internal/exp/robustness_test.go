@@ -1,0 +1,40 @@
+package exp
+
+import "testing"
+
+// TestShapesRobustAcrossSeeds guards against seed-overfitting: the two
+// cheapest stochastic experiments must keep their qualitative shape for
+// several seeds, not just the default.
+func TestShapesRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []int64{2, 3, 5} {
+		opts := Options{Quick: true, Seed: seed}
+
+		f8, err := RunFig8(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var rnd, rem int64
+		for _, row := range f8.Rows {
+			rnd += row.RandomFailures
+			rem += row.RemovableFailures
+		}
+		if rnd == 0 || rem >= rnd {
+			t.Errorf("seed %d: Fig8 shape broke: random=%d removable=%d", seed, rnd, rem)
+		}
+
+		f12, err := RunFig12(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if f12.NoKSM.AvgOffBlocks <= 0 {
+			t.Errorf("seed %d: GreenDIMM off-lined nothing", seed)
+		}
+		if f12.WithKSM.AvgOffBlocks <= f12.NoKSM.AvgOffBlocks {
+			t.Errorf("seed %d: KSM did not increase off-lining (%.0f vs %.0f)",
+				seed, f12.WithKSM.AvgOffBlocks, f12.NoKSM.AvgOffBlocks)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package exp
+
+import "testing"
+
+func TestSwapThresholdCliff(t *testing.T) {
+	r, err := RunSwapThreshold(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The paper's cliff: below 10% the bursts outrun on-lining and swap
+	// storms appear; at >= 10% reserve, swapping (nearly) vanishes.
+	tight := r.Rows[0] // 2%
+	safe := r.Rows[2]  // 10%
+	if tight.SwapOutGB <= 0 {
+		t.Error("no swap traffic at a 2% reserve under bursts")
+	}
+	if safe.SwapOutGB > tight.SwapOutGB/4 {
+		t.Errorf("10%% reserve swapped %.1fGB, want far less than 2%%'s %.1fGB",
+			safe.SwapOutGB, tight.SwapOutGB)
+	}
+	// Monotone non-increasing swap traffic with growing reserve.
+	for i := 1; i < 4; i++ {
+		if r.Rows[i].SwapOutGB > r.Rows[i-1].SwapOutGB+0.6 {
+			t.Errorf("swap traffic rose with a bigger reserve: %+v", r.Rows)
+		}
+	}
+	if tight.SlowdownPct <= safe.SlowdownPct {
+		t.Error("tight reserve should slow the workload more")
+	}
+	// The adaptive policy starts from the same 2% base but sizes its
+	// reserve to the bursts: (nearly) no swapping, yet more capacity
+	// off-lined than the blunt 20% reserve.
+	adaptive := r.Rows[4]
+	if !adaptive.Adaptive {
+		t.Fatal("row 4 should be the adaptive policy")
+	}
+	if adaptive.SwapOutGB > tight.SwapOutGB/10 {
+		t.Errorf("adaptive policy swapped %.1fGB, want ~0 (fixed 2%%: %.1fGB)",
+			adaptive.SwapOutGB, tight.SwapOutGB)
+	}
+	if adaptive.OfflinedGB < r.Rows[3].OfflinedGB {
+		t.Errorf("adaptive off-lined %.1fGB, less than fixed-20%%'s %.1fGB",
+			adaptive.OfflinedGB, r.Rows[3].OfflinedGB)
+	}
+	t.Logf("\n%s", r.Table())
+}

@@ -1,0 +1,33 @@
+package exp
+
+import "testing"
+
+func TestTailLatencyShape(t *testing.T) {
+	r, err := RunTailLatency(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 latency-critical services", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.BaseP99us <= 0 || row.GDP99us <= 0 {
+			t.Fatalf("%s: missing percentiles: %+v", row.App, row)
+		}
+		if row.BaseP99us < row.BaseP95us || row.GDP99us < row.GDP95us {
+			t.Errorf("%s: p99 below p95", row.App)
+		}
+		// Constant footprints: the daemon settles after warm-up and
+		// produces (almost) no steady-state events.
+		if row.DaemonEvents > 4 {
+			t.Errorf("%s: %d steady-state daemon events for a constant footprint",
+				row.App, row.DaemonEvents)
+		}
+	}
+	// The paper's claim: no notable tail degradation. Allow generous
+	// noise in quick mode.
+	if inc := r.MaxP99InflationPct(); inc > 25 {
+		t.Errorf("worst p99 inflation = %.1f%%, want small", inc)
+	}
+	t.Logf("\n%s\nworst p99 inflation: %.1f%%", r.Table(), r.MaxP99InflationPct())
+}

@@ -1,0 +1,95 @@
+package hotplug
+
+import (
+	"testing"
+
+	"greendimm/internal/kernel"
+)
+
+// TestLatencyScalesWithBlockSize: per-byte cost model means a 256MB block
+// takes roughly twice a 128MB block's off-lining time (the Fig. 7
+// mechanism: fewer, costlier events with bigger blocks).
+func TestLatencyScalesWithBlockSize(t *testing.T) {
+	lat := func(blockMB int64) float64 {
+		mem, err := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: pageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := New(mem, Config{BlockBytes: blockMB << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := mgr.Offline(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Milliseconds()
+	}
+	l128, l256, l512 := lat(128), lat(256), lat(512)
+	if !(l128 < l256 && l256 < l512) {
+		t.Fatalf("latencies not increasing: %.2f %.2f %.2f", l128, l256, l512)
+	}
+	// Ratio should approach 2x as the per-byte term dominates the base.
+	if r := l256 / l128; r < 1.5 || r > 2.1 {
+		t.Errorf("256/128 latency ratio = %.2f, want ~1.9", r)
+	}
+}
+
+// TestMovableZoneBlocksAreRemovable: blocks fully inside the movable zone
+// are removable even when the Normal zone is pinned by kernel memory.
+func TestMovableZoneBlocksAreRemovable(t *testing.T) {
+	mem, err := kernel.New(kernel.Config{
+		TotalBytes: 256 * oneMB, PageBytes: pageSize,
+		MovableBytes: 64 * oneMB, KernelReservedBytes: 32 * oneMB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(mem, Config{BlockBytes: 32 * oneMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 6 and 7 are the movable zone (top 64MB of 8 blocks).
+	for _, b := range []int{6, 7} {
+		if !mgr.Removable(b) {
+			t.Errorf("movable-zone block %d not removable", b)
+		}
+	}
+	if mgr.Removable(0) {
+		t.Error("kernel-pinned block 0 reported removable")
+	}
+}
+
+// TestStatsDistributionsAccumulate: repeated operations populate the
+// latency distributions with consistent counts.
+func TestStatsDistributionsAccumulate(t *testing.T) {
+	mem, err := kernel.New(kernel.Config{TotalBytes: 256 * oneMB, PageBytes: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(mem, Config{BlockBytes: 32 * oneMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mgr.Offline(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := mgr.Online(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mgr.Stats()
+	if st.OfflineLat.N() != 4 || st.OnlineLat.N() != 2 {
+		t.Errorf("latency sample counts = %d/%d, want 4/2", st.OfflineLat.N(), st.OnlineLat.N())
+	}
+	if st.Offlines != 4 || st.Onlines != 2 || st.Failures() != 0 {
+		t.Errorf("counters wrong: %+v", st)
+	}
+	// All same-size successes: distribution is degenerate.
+	if st.OfflineLat.Percentile(99) != st.OfflineLat.Mean() {
+		t.Error("uniform off-linings should have a flat latency distribution")
+	}
+}

@@ -1,0 +1,338 @@
+package hotplug
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+const (
+	pageSize = 4096
+	oneMB    = 1 << 20
+)
+
+// testSetup builds 64MB of memory with 8MB blocks.
+func testSetup(t *testing.T, kcfg kernel.Config, hcfg Config) (*kernel.Mem, *Manager) {
+	t.Helper()
+	if kcfg.TotalBytes == 0 {
+		kcfg = kernel.Config{TotalBytes: 64 * oneMB, PageBytes: pageSize}
+	}
+	mem, err := kernel.New(kcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcfg.BlockBytes == 0 {
+		hcfg.BlockBytes = 8 * oneMB
+	}
+	mgr, err := New(mem, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, mgr
+}
+
+func TestBlockGeometry(t *testing.T) {
+	_, mgr := testSetup(t, kernel.Config{}, Config{})
+	if mgr.Blocks() != 8 {
+		t.Errorf("Blocks = %d, want 8", mgr.Blocks())
+	}
+	lo, hi := mgr.Range(2)
+	if lo != 2*2048 || hi != 3*2048 {
+		t.Errorf("Range(2) = [%d,%d)", lo, hi)
+	}
+	alo, ahi := mgr.AddrRange(2)
+	if alo != 16*oneMB || ahi != 24*oneMB {
+		t.Errorf("AddrRange(2) = [%d,%d)", alo, ahi)
+	}
+}
+
+func TestOfflineFreeBlock(t *testing.T) {
+	mem, mgr := testSetup(t, kernel.Config{}, Config{})
+	before := mem.Meminfo()
+	lat, err := mgr.Offline(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Error("zero off-line latency")
+	}
+	if mgr.State(7) != BlockOffline || mgr.OfflineCount() != 1 {
+		t.Error("block not marked offline")
+	}
+	after := mem.Meminfo()
+	if after.TotalBytes != before.TotalBytes-8*oneMB {
+		t.Errorf("online capacity %d, want %d", after.TotalBytes, before.TotalBytes-8*oneMB)
+	}
+	if after.FreeBytes != before.FreeBytes-8*oneMB {
+		t.Errorf("free %d, want %d", after.FreeBytes, before.FreeBytes-8*oneMB)
+	}
+	lo, hi := mgr.Range(7)
+	for p := lo; p < hi; p++ {
+		if mem.State(p) != kernel.PageOffline {
+			t.Fatalf("page %d state %v", p, mem.State(p))
+		}
+	}
+	// Allocator no longer hands out off-lined frames.
+	pfns, err := mem.AllocPages(1000, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pfns {
+		if p >= lo && p < hi {
+			t.Fatalf("allocated off-lined page %d", p)
+		}
+	}
+}
+
+func TestOnlineRestores(t *testing.T) {
+	mem, mgr := testSetup(t, kernel.Config{}, Config{})
+	if _, err := mgr.Offline(3); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := mgr.Online(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Error("zero on-line latency")
+	}
+	if mem.Meminfo().TotalBytes != 64*oneMB {
+		t.Error("capacity not restored")
+	}
+	if mgr.OfflineCount() != 0 {
+		t.Error("offline count not reset")
+	}
+	// Double transitions are rejected.
+	if _, err := mgr.Online(3); !errors.Is(err, ErrState) {
+		t.Errorf("double online: %v", err)
+	}
+	if _, err := mgr.Offline(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Offline(3); !errors.Is(err, ErrState) {
+		t.Errorf("double offline: %v", err)
+	}
+}
+
+func TestOfflineEBusyOnUnmovable(t *testing.T) {
+	mem, mgr := testSetup(t, kernel.Config{}, Config{})
+	// Kernel pages land at the bottom -> block 0 unremovable.
+	if _, err := mem.AllocPages(10, false, kernel.KernelOwner); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Removable(0) {
+		t.Error("block 0 with kernel pages reported removable")
+	}
+	lat, err := mgr.Offline(0)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("expected EBUSY, got %v", err)
+	}
+	if lat != DefaultLatency().EBusyLatency {
+		t.Errorf("EBUSY latency = %v, want %v", lat, DefaultLatency().EBusyLatency)
+	}
+	if mgr.Stats().EBusy != 1 {
+		t.Error("EBUSY not counted")
+	}
+	// Memory intact after the failure.
+	if mem.Meminfo().TotalBytes != 64*oneMB {
+		t.Error("failed offline changed capacity")
+	}
+}
+
+func TestOfflineMigratesUsedPages(t *testing.T) {
+	mem, mgr := testSetup(t, kernel.Config{}, Config{MigrateAttemptFailProb: 0})
+	// Fill block 0 partially with movable pages.
+	pfns, err := mem.AllocPages(100, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.Removable(0) || mgr.FullyFree(0) {
+		t.Fatal("setup wrong: block 0 should be removable but not free")
+	}
+	if mgr.UsedPages(0) != 100 {
+		t.Fatalf("UsedPages = %d", mgr.UsedPages(0))
+	}
+	lat, err := mgr.Offline(0)
+	if err != nil {
+		t.Fatalf("offline with migration failed: %v", err)
+	}
+	if mgr.Stats().MigratedPages != 100 {
+		t.Errorf("migrated %d pages, want 100", mgr.Stats().MigratedPages)
+	}
+	// Owner still holds 100 pages, now outside block 0.
+	if mem.OwnerPageCount(5) != 100 {
+		t.Errorf("owner lost pages: %d", mem.OwnerPageCount(5))
+	}
+	_, hi := mgr.Range(0)
+	for _, p := range pfns {
+		if p < hi && mem.State(p) != kernel.PageOffline {
+			t.Errorf("source page %d not offline", p)
+		}
+	}
+	// Migration adds latency beyond a free-block offline.
+	mem2, mgr2 := testSetup(t, kernel.Config{}, Config{MigrateAttemptFailProb: 0})
+	_ = mem2
+	freeLat, err := mgr2.Offline(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= freeLat {
+		t.Errorf("migration offline %v not slower than free offline %v", lat, freeLat)
+	}
+}
+
+func TestOfflineEAgainRollsBack(t *testing.T) {
+	mem, mgr := testSetup(t, kernel.Config{}, Config{MigrateAttemptFailProb: 1, Seed: 1})
+	if _, err := mem.AllocPages(50, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	before := mem.Meminfo()
+	lat, err := mgr.Offline(0)
+	if !errors.Is(err, ErrAgain) {
+		t.Fatalf("expected EAGAIN, got %v", err)
+	}
+	if mgr.Stats().EAgain != 1 {
+		t.Error("EAGAIN not counted")
+	}
+	after := mem.Meminfo()
+	if after != before {
+		t.Errorf("rollback incomplete: %+v -> %+v", before, after)
+	}
+	if mgr.State(0) != BlockOnline {
+		t.Error("block left offline after EAGAIN")
+	}
+	// EAGAIN is slower than a successful free-block offline (Table 3).
+	_, mgr2 := testSetup(t, kernel.Config{}, Config{})
+	okLat, _ := mgr2.Offline(1)
+	if lat <= okLat {
+		t.Errorf("EAGAIN latency %v not slower than success %v", lat, okLat)
+	}
+	// No pages may remain isolated.
+	lo, hi := mgr.Range(0)
+	for p := lo; p < hi; p++ {
+		if mem.State(p) == kernel.PageIsolated {
+			t.Fatalf("page %d left isolated", p)
+		}
+	}
+}
+
+func TestTable3LatencyAnchors(t *testing.T) {
+	// 128MB blocks must reproduce the paper's Table 3 latencies within
+	// tolerance: off-line 1.58ms, on-line 3.44ms, EBUSY 6us, EAGAIN ~3x
+	// off-line.
+	kcfg := kernel.Config{TotalBytes: 1 << 30, PageBytes: pageSize}
+	_, mgr := testSetup(t, kcfg, Config{BlockBytes: 128 << 20})
+	offLat, err := mgr.Offline(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := offLat.Milliseconds(); math.Abs(got-1.58) > 0.2 {
+		t.Errorf("off-line latency = %.2fms, want ~1.58ms", got)
+	}
+	onLat, err := mgr.Online(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := onLat.Milliseconds(); math.Abs(got-3.44) > 0.35 {
+		t.Errorf("on-line latency = %.2fms, want ~3.44ms", got)
+	}
+	if got := DefaultLatency().EBusyLatency; got != 6*sim.Microsecond {
+		t.Errorf("EBUSY latency = %v, want 6us", got)
+	}
+	// EAGAIN anchor.
+	mem3, err := kernel.New(kcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr3, err := New(mem3, Config{BlockBytes: 128 << 20, MigrateAttemptFailProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem3.AllocPages(10, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	againLat, err := mgr3.Offline(0)
+	if !errors.Is(err, ErrAgain) {
+		t.Fatal(err)
+	}
+	if got := againLat.Milliseconds(); got < 3.5 || got > 6 {
+		t.Errorf("EAGAIN latency = %.2fms, want ~4.4-4.8ms", got)
+	}
+}
+
+func TestRemovableReflectsLeakedKernelPages(t *testing.T) {
+	// With boot-time unmovable scattering, some high blocks are not
+	// removable (paper §5.2).
+	kcfg := kernel.Config{
+		TotalBytes: 256 * oneMB, PageBytes: pageSize,
+		UnmovableLeakEvery: 4, Seed: 3,
+	}
+	_, mgr := testSetup(t, kcfg, Config{BlockBytes: 8 * oneMB})
+	removable, pinned := 0, 0
+	for i := 0; i < mgr.Blocks(); i++ {
+		if mgr.Removable(i) {
+			removable++
+		} else {
+			pinned++
+		}
+	}
+	if pinned == 0 {
+		t.Error("no blocks pinned by scattered kernel pages")
+	}
+	if removable == 0 {
+		t.Error("every block pinned; scattering too aggressive")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mem, err := kernel.New(kernel.Config{TotalBytes: 64 * oneMB, PageBytes: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(mem, Config{BlockBytes: 3 * oneMB}); err == nil {
+		t.Error("non-divisor block size accepted")
+	}
+	if _, err := New(mem, Config{BlockBytes: 1000}); err == nil {
+		t.Error("non-page-multiple block size accepted")
+	}
+	if _, err := New(mem, Config{MigrateAttemptFailProb: 1.5}); err == nil {
+		t.Error("bad probability accepted")
+	}
+	big, err := kernel.New(kernel.Config{TotalBytes: 256 * oneMB, PageBytes: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := New(big, Config{}); err != nil || m.BlockBytes() != 128<<20 {
+		t.Errorf("default block size not 128MB: %v", err)
+	}
+}
+
+func TestOfflineOnlineCycleStress(t *testing.T) {
+	// Repeated off/on-lining with live allocations must never corrupt
+	// accounting.
+	mem, mgr := testSetup(t, kernel.Config{}, Config{MigrateAttemptFailProb: 0.3, Seed: 9})
+	g := sim.NewRNG(17)
+	owner := uint32(1)
+	for iter := 0; iter < 300; iter++ {
+		switch g.Intn(4) {
+		case 0:
+			_, _ = mem.AllocPages(int64(g.Intn(200)+1), true, owner)
+		case 1:
+			mem.FreeOwnerPages(owner, int64(g.Intn(200)+1))
+		case 2:
+			_, _ = mgr.Offline(g.Intn(mgr.Blocks()))
+		case 3:
+			i := g.Intn(mgr.Blocks())
+			if mgr.State(i) == BlockOffline {
+				_, _ = mgr.Online(i)
+			}
+		}
+		mi := mem.Meminfo()
+		if mi.FreeBytes < 0 || mi.UsedBytes < 0 || mi.FreeBytes+mi.UsedBytes != mi.TotalBytes {
+			t.Fatalf("iter %d: accounting broken: %+v", iter, mi)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// buddy is a binary-buddy allocator over a contiguous PFN range, the same
+// scheme mm/page_alloc.c uses. Free blocks are tracked per order in
+// min-heaps of head PFNs (lowest-address-first allocation, which matches
+// the empirically useful property that free memory accumulates at high
+// addresses — exactly what lets GreenDIMM off-line the top blocks).
+//
+// freeOrder records, for the head page of each free block, its order + 1
+// (0 means "not a free-block head"), enabling O(maxOrder) buddy lookup and
+// the arbitrary-page carve-out that memory off-lining needs.
+type buddy struct {
+	base     PFN // first PFN of the zone
+	npages   int64
+	maxOrder int // largest block is 1<<maxOrder pages
+	lists    []pfnHeap
+	free     int64
+	// freeOrder[pfn-base] = order+1 when pfn heads a free block.
+	freeOrder []uint8
+}
+
+type pfnHeap []PFN
+
+func (h pfnHeap) Len() int           { return len(h) }
+func (h pfnHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h pfnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pfnHeap) Push(x any)        { *h = append(*h, x.(PFN)) }
+func (h *pfnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// newBuddy creates a zone over [base, base+npages) with all pages free.
+// npages must be a multiple of the max block size and base aligned to it.
+func newBuddy(base PFN, npages int64, maxOrder int) (*buddy, error) {
+	blk := int64(1) << maxOrder
+	if npages <= 0 || npages%blk != 0 {
+		return nil, fmt.Errorf("kernel: zone size %d not a multiple of max order block %d", npages, blk)
+	}
+	if int64(base)%blk != 0 {
+		return nil, fmt.Errorf("kernel: zone base %d not aligned to %d", base, blk)
+	}
+	b := &buddy{
+		base:      base,
+		npages:    npages,
+		maxOrder:  maxOrder,
+		lists:     make([]pfnHeap, maxOrder+1),
+		freeOrder: make([]uint8, npages),
+	}
+	for p := base; p < base+PFN(npages); p += PFN(blk) {
+		b.insertFree(p, maxOrder)
+	}
+	b.free = npages
+	return b, nil
+}
+
+// Contains reports whether pfn lies in the zone.
+func (b *buddy) Contains(pfn PFN) bool {
+	return pfn >= b.base && pfn < b.base+PFN(b.npages)
+}
+
+// Free reports the number of free pages.
+func (b *buddy) Free() int64 { return b.free }
+
+func (b *buddy) insertFree(pfn PFN, order int) {
+	b.freeOrder[pfn-b.base] = uint8(order) + 1
+	heap.Push(&b.lists[order], pfn)
+}
+
+// removeFreeHead clears the free-head mark; the heap entry is removed
+// lazily at pop time.
+func (b *buddy) removeFreeHead(pfn PFN) {
+	b.freeOrder[pfn-b.base] = 0
+}
+
+func (b *buddy) isFreeHead(pfn PFN, order int) bool {
+	return b.Contains(pfn) && b.freeOrder[pfn-b.base] == uint8(order)+1
+}
+
+// alloc takes the lowest-addressed free block of at least the given order,
+// splitting as needed. Returns the head PFN.
+func (b *buddy) alloc(order int) (PFN, bool) {
+	if order > b.maxOrder {
+		return 0, false
+	}
+	for o := order; o <= b.maxOrder; o++ {
+		for len(b.lists[o]) > 0 {
+			pfn := b.lists[o][0]
+			if !b.isFreeHead(pfn, o) { // stale heap entry
+				heap.Pop(&b.lists[o])
+				continue
+			}
+			heap.Pop(&b.lists[o])
+			b.removeFreeHead(pfn)
+			// Split down to the requested order, freeing upper halves.
+			for cur := o; cur > order; cur-- {
+				half := PFN(int64(1) << (cur - 1))
+				b.insertFree(pfn+half, cur-1)
+			}
+			b.free -= int64(1) << order
+			return pfn, true
+		}
+	}
+	return 0, false
+}
+
+// freeBlock returns a block to the allocator, coalescing with free buddies.
+func (b *buddy) freeBlock(pfn PFN, order int) {
+	if !b.Contains(pfn) {
+		panic(fmt.Sprintf("kernel: freeing pfn %d outside zone [%d,%d)", pfn, b.base, b.base+PFN(b.npages)))
+	}
+	if b.freeOrder[pfn-b.base] != 0 {
+		panic(fmt.Sprintf("kernel: double free of pfn %d", pfn))
+	}
+	b.free += int64(1) << order
+	for order < b.maxOrder {
+		size := PFN(int64(1) << order)
+		bud := pfn ^ size // buddy address at this order
+		if !b.isFreeHead(bud, order) {
+			break
+		}
+		b.removeFreeHead(bud)
+		if bud < pfn {
+			pfn = bud
+		}
+		order++
+	}
+	b.insertFree(pfn, order)
+}
+
+// carve removes a specific free page from the free lists (the page must be
+// free), splitting its containing free block. This is what page isolation
+// does during memory off-lining. Reports whether the page was found free.
+func (b *buddy) carve(pfn PFN) bool {
+	// Find the free block containing pfn: its head is pfn aligned down at
+	// some order with the free-head mark set.
+	for o := 0; o <= b.maxOrder; o++ {
+		head := pfn &^ (PFN(int64(1)<<o) - 1)
+		if !b.isFreeHead(head, o) {
+			continue
+		}
+		b.removeFreeHead(head)
+		// Split the block, re-freeing every piece except the target page.
+		for cur := o; cur > 0; cur-- {
+			half := PFN(int64(1) << (cur - 1))
+			if pfn < head+half {
+				b.insertFree(head+half, cur-1)
+			} else {
+				b.insertFree(head, cur-1)
+				head += half
+			}
+		}
+		b.free--
+		return true
+	}
+	return false
+}

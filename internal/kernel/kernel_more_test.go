@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMigrateAvoidPredicate: the destination filter is honored exactly.
+func TestMigrateAvoidPredicate(t *testing.T) {
+	m := small(t)
+	pfns, err := m.AllocPages(5, true, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forbid everything below PFN 5000.
+	dst, err := m.MigratePageAvoid(pfns[0], func(p PFN) bool { return p < 5000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst < 5000 {
+		t.Errorf("destination %d violates the avoid predicate", dst)
+	}
+	// Rejected candidate frames must have returned to the allocator:
+	// a fresh allocation reuses the low frames.
+	lows, err := m.AllocPages(3, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range lows {
+		if p >= 5000 {
+			t.Errorf("low frames not recycled after rejection: got %d", p)
+		}
+	}
+}
+
+// TestMigrateAvoidEverythingFails: an unsatisfiable filter yields
+// ErrNoMemory and leaves the source untouched.
+func TestMigrateAvoidEverythingFails(t *testing.T) {
+	m := small(t)
+	pfns, _ := m.AllocPages(1, true, 9)
+	if _, err := m.MigratePageAvoid(pfns[0], func(PFN) bool { return true }); err != ErrNoMemory {
+		t.Fatalf("expected ErrNoMemory, got %v", err)
+	}
+	if m.State(pfns[0]) != PageMovable {
+		t.Errorf("source page state = %v after failed migration", m.State(pfns[0]))
+	}
+	if m.OwnerPageCount(9) != 1 {
+		t.Error("owner lost the page")
+	}
+}
+
+// TestReassignPreservesAccounting: used-page totals and owner lists stay
+// consistent across reassignment (the KSM stable-frame handover).
+func TestReassignPreservesAccounting(t *testing.T) {
+	m := small(t)
+	pfns, _ := m.AllocPages(3, true, 5)
+	used := m.Meminfo().UsedBytes
+	m.Reassign(pfns[1], 6)
+	if m.Meminfo().UsedBytes != used {
+		t.Error("reassignment changed used-byte accounting")
+	}
+	if m.Owner(pfns[1]) != 6 || m.OwnerPageCount(6) != 1 || m.OwnerPageCount(5) != 2 {
+		t.Error("owner bookkeeping wrong after reassignment")
+	}
+	// Freeing both owners returns everything.
+	m.FreeOwner(5)
+	m.FreeOwner(6)
+	if m.Meminfo().UsedBytes != 0 {
+		t.Error("teardown incomplete after reassignment")
+	}
+}
+
+// TestMigrationChurnConservation: random interleavings of allocation,
+// migration and freeing never corrupt the free/used accounting.
+func TestMigrationChurnConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, err := New(Config{TotalBytes: 16 * oneMB, PageBytes: testPage})
+		if err != nil {
+			return false
+		}
+		owner := uint32(1)
+		var held []PFN
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if pfns, err := m.AllocPages(int64(op%32)+1, true, owner); err == nil {
+					held = append(held, pfns...)
+				}
+			case 1:
+				if len(held) > 0 {
+					src := held[int(op)%len(held)]
+					if m.State(src) == PageMovable {
+						if dst, err := m.MigratePage(src, 0, 0); err == nil {
+							m.Unisolate(src)
+							held = append(held, dst)
+						}
+					}
+				}
+			case 2:
+				m.FreeOwnerPages(owner, int64(op%16)+1)
+			}
+		}
+		mi := m.Meminfo()
+		var free, used, isolated int64
+		for p := PFN(0); p < PFN(m.NPages()); p++ {
+			switch m.State(p) {
+			case PageFree:
+				free++
+			case PageMovable, PageUnmovable:
+				used++
+			case PageIsolated:
+				isolated++
+			}
+		}
+		return isolated == 0 &&
+			mi.FreeBytes == free*testPage &&
+			mi.UsedBytes == used*testPage &&
+			used == m.OwnerPageCount(owner)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOwnerPageOrderSurvivesChurn: OwnerPage indexes remain valid and
+// unique after partial frees (the address generators index through it).
+func TestOwnerPageOrderSurvivesChurn(t *testing.T) {
+	m := small(t)
+	if _, err := m.AllocPages(100, true, 4); err != nil {
+		t.Fatal(err)
+	}
+	m.FreeOwnerPages(4, 37)
+	n := m.OwnerPageCount(4)
+	if n != 63 {
+		t.Fatalf("count = %d", n)
+	}
+	seen := map[PFN]bool{}
+	for i := int64(0); i < n; i++ {
+		p := m.OwnerPage(4, i)
+		if seen[p] {
+			t.Fatalf("OwnerPage duplicate %d", p)
+		}
+		seen[p] = true
+		if m.State(p) != PageMovable || m.Owner(p) != 4 {
+			t.Fatalf("OwnerPage(%d) = %d in wrong state", i, p)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const (
+	testPage = 4096
+	oneMB    = 1 << 20
+	oneGB    = 1 << 30
+)
+
+func newMem(t *testing.T, cfg Config) *Mem {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func small(t *testing.T) *Mem {
+	return newMem(t, Config{TotalBytes: 64 * oneMB, PageBytes: testPage})
+}
+
+func TestBootMeminfo(t *testing.T) {
+	m := small(t)
+	mi := m.Meminfo()
+	if mi.TotalBytes != 64*oneMB {
+		t.Errorf("TotalBytes = %d", mi.TotalBytes)
+	}
+	if mi.FreeBytes != 64*oneMB || mi.UsedBytes != 0 {
+		t.Errorf("fresh memory not all free: %+v", mi)
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	m := small(t)
+	pfns, err := m.AllocPages(100, true, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfns) != 100 {
+		t.Fatalf("got %d pages", len(pfns))
+	}
+	for _, p := range pfns {
+		if m.State(p) != PageMovable || m.Owner(p) != 7 {
+			t.Fatalf("page %d: state=%v owner=%d", p, m.State(p), m.Owner(p))
+		}
+	}
+	if got := m.Meminfo().UsedBytes; got != 100*testPage {
+		t.Errorf("used = %d", got)
+	}
+	if n := m.FreeOwner(7); n != 100 {
+		t.Errorf("FreeOwner freed %d", n)
+	}
+	if got := m.Meminfo().FreeBytes; got != 64*oneMB {
+		t.Errorf("free after teardown = %d", got)
+	}
+}
+
+func TestUnmovableAllocation(t *testing.T) {
+	m := small(t)
+	pfns, err := m.AllocPages(10, false, KernelOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pfns {
+		if m.State(p) != PageUnmovable {
+			t.Fatalf("page %d state = %v", p, m.State(p))
+		}
+	}
+}
+
+func TestAllocationPrefersLowAddresses(t *testing.T) {
+	// Lowest-first allocation concentrates free memory at the top — the
+	// property GreenDIMM's block selector relies on.
+	m := small(t)
+	pfns, err := m.AllocPages(1000, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := PFN(0)
+	for _, p := range pfns {
+		if p > max {
+			max = p
+		}
+	}
+	if max >= 1024+64 {
+		t.Errorf("1000-page allocation reached pfn %d; expected low addresses", max)
+	}
+}
+
+func TestLIFOPartialFree(t *testing.T) {
+	m := small(t)
+	a, _ := m.AllocPages(10, true, 3)
+	b, _ := m.AllocPages(10, true, 3)
+	if n := m.FreeOwnerPages(3, 10); n != 10 {
+		t.Fatalf("freed %d", n)
+	}
+	// The second batch (b) must be the one freed.
+	for _, p := range b {
+		if m.State(p) != PageFree {
+			t.Errorf("recently allocated page %d not freed (LIFO violated)", p)
+		}
+	}
+	for _, p := range a {
+		if m.State(p) != PageMovable {
+			t.Errorf("older page %d freed; LIFO violated", p)
+		}
+	}
+	if m.OwnerPageCount(3) != 10 {
+		t.Errorf("owner count = %d", m.OwnerPageCount(3))
+	}
+}
+
+func TestOutOfMemoryRollsBack(t *testing.T) {
+	m := newMem(t, Config{TotalBytes: 4 * oneMB, PageBytes: testPage})
+	if _, err := m.AllocPages(1024, true, 1); err != nil { // exactly fills
+		t.Fatal(err)
+	}
+	if _, err := m.AllocPages(1, true, 2); err != ErrNoMemory {
+		t.Fatalf("expected ErrNoMemory, got %v", err)
+	}
+	m.FreeOwner(1)
+	// Over-ask rolls back entirely: free count unchanged after failure.
+	if _, err := m.AllocPages(4096, true, 2); err != ErrNoMemory {
+		t.Fatalf("expected ErrNoMemory, got %v", err)
+	}
+	if got := m.Meminfo().FreeBytes; got != 4*oneMB {
+		t.Errorf("free after failed alloc = %d, want all", got)
+	}
+}
+
+func TestMovableZonePreference(t *testing.T) {
+	m := newMem(t, Config{
+		TotalBytes: 64 * oneMB, PageBytes: testPage, MovableBytes: 32 * oneMB,
+	})
+	movStart := PFN(32 * oneMB / testPage)
+	mv, err := m.AllocPages(10, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mv {
+		if p < movStart {
+			t.Errorf("movable page %d below movable zone start %d", p, movStart)
+		}
+	}
+	um, err := m.AllocPages(10, false, KernelOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range um {
+		if p >= movStart {
+			t.Errorf("unmovable page %d inside movable zone", p)
+		}
+	}
+}
+
+func TestMovableFallsBackToNormal(t *testing.T) {
+	m := newMem(t, Config{
+		TotalBytes: 8 * oneMB, PageBytes: testPage, MovableBytes: 4 * oneMB,
+	})
+	// Ask for more movable memory than the movable zone holds.
+	pfns, err := m.AllocPages(1536, true, 1) // 6MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	below := 0
+	movStart := PFN(4 * oneMB / testPage)
+	for _, p := range pfns {
+		if p < movStart {
+			below++
+		}
+	}
+	if below == 0 {
+		t.Error("movable allocation never fell back to Normal zone")
+	}
+}
+
+func TestKernelReservation(t *testing.T) {
+	m := newMem(t, Config{
+		TotalBytes: 64 * oneMB, PageBytes: testPage,
+		KernelReservedBytes: 8 * oneMB,
+	})
+	mi := m.Meminfo()
+	if mi.UsedBytes != 8*oneMB {
+		t.Errorf("boot used = %d, want 8MB", mi.UsedBytes)
+	}
+	if m.OwnerPageCount(KernelOwner) != 2048 {
+		t.Errorf("kernel owns %d pages", m.OwnerPageCount(KernelOwner))
+	}
+}
+
+func TestUnmovableLeakScattering(t *testing.T) {
+	m := newMem(t, Config{
+		TotalBytes: 256 * oneMB, PageBytes: testPage,
+		UnmovableLeakEvery: 2, Seed: 11,
+	})
+	// Count unmovable pages above the first 1/64th stride: scattering
+	// must place kernel pages beyond the normal low-address reach.
+	var high int64
+	for p := PFN(m.NPages() / 2); p < PFN(m.NPages()); p++ {
+		if m.State(p) == PageUnmovable {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Error("no unmovable pages scattered into the upper half")
+	}
+}
+
+func TestMigratePreservesOwner(t *testing.T) {
+	m := small(t)
+	pfns, _ := m.AllocPages(5, true, 9)
+	src := pfns[0]
+	var hookSrc, hookDst PFN = -1, -1
+	m.OnMigrate(func(s, d PFN) { hookSrc, hookDst = s, d })
+	dst, err := m.MigratePage(src, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State(src) != PageIsolated {
+		t.Errorf("source state = %v, want isolated", m.State(src))
+	}
+	if m.State(dst) != PageMovable || m.Owner(dst) != 9 {
+		t.Errorf("dest state=%v owner=%d", m.State(dst), m.Owner(dst))
+	}
+	if hookSrc != src || hookDst != dst {
+		t.Errorf("migration hook got (%d,%d), want (%d,%d)", hookSrc, hookDst, src, dst)
+	}
+	if m.Migrations() != 1 {
+		t.Errorf("migrations = %d", m.Migrations())
+	}
+	if m.OwnerPageCount(9) != 5 {
+		t.Errorf("owner count changed to %d", m.OwnerPageCount(9))
+	}
+}
+
+func TestMigrateAvoidsRange(t *testing.T) {
+	m := small(t)
+	pfns, _ := m.AllocPages(3, true, 4)
+	dst, err := m.MigratePage(pfns[0], 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst < 1024 {
+		t.Errorf("destination %d inside avoided range [0,1024)", dst)
+	}
+}
+
+func TestMigrateUnmovableFails(t *testing.T) {
+	m := small(t)
+	pfns, _ := m.AllocPages(1, false, KernelOwner)
+	if _, err := m.MigratePage(pfns[0], 0, 0); err == nil {
+		t.Error("migrating unmovable page succeeded")
+	}
+}
+
+func TestMigrateFailsWhenFull(t *testing.T) {
+	m := newMem(t, Config{TotalBytes: 4 * oneMB, PageBytes: testPage})
+	pfns, err := m.AllocPages(1024, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MigratePage(pfns[0], 0, 0); err != ErrNoMemory {
+		t.Errorf("expected ErrNoMemory, got %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TotalBytes: 0, PageBytes: testPage},
+		{TotalBytes: oneMB, PageBytes: 3000},
+		{TotalBytes: oneMB + 1, PageBytes: testPage},
+		{TotalBytes: oneMB, PageBytes: testPage, MovableBytes: 2 * oneMB},
+		{TotalBytes: oneMB, PageBytes: testPage, MovableBytes: -4096},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if PageOffline.String() != "offline" || PageState(99).String() != "invalid" {
+		t.Error("bad state strings")
+	}
+}
+
+func TestBuddyInvariants(t *testing.T) {
+	// Property: after arbitrary alloc/free sequences, free counts match
+	// and no page is double-accounted.
+	f := func(ops []uint16) bool {
+		m, err := New(Config{TotalBytes: 16 * oneMB, PageBytes: testPage})
+		if err != nil {
+			return false
+		}
+		owner := uint32(1)
+		for _, op := range ops {
+			n := int64(op%64) + 1
+			if op&0x8000 != 0 {
+				_, _ = m.AllocPages(n, op&0x4000 != 0, owner)
+			} else {
+				m.FreeOwnerPages(owner, n)
+			}
+		}
+		mi := m.Meminfo()
+		// Recount states directly.
+		var free, used int64
+		for p := PFN(0); p < PFN(m.NPages()); p++ {
+			switch m.State(p) {
+			case PageFree:
+				free++
+			case PageMovable, PageUnmovable:
+				used++
+			}
+		}
+		return mi.FreeBytes == free*testPage && mi.UsedBytes == used*testPage &&
+			free == m.normal.Free()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuddyCoalescing(t *testing.T) {
+	m := newMem(t, Config{TotalBytes: 4 * oneMB, PageBytes: testPage})
+	// Allocate everything as single pages, free it all; the allocator
+	// must then satisfy one maximal-order allocation (fully coalesced).
+	if _, err := m.AllocPages(1024, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.FreeOwner(1)
+	if pfn, ok := m.normal.alloc(m.normal.maxOrder); !ok {
+		t.Error("max-order allocation failed after full free: coalescing broken")
+	} else {
+		m.normal.freeBlock(pfn, m.normal.maxOrder)
+	}
+}
+
+func TestCarveSpecific(t *testing.T) {
+	m := newMem(t, Config{TotalBytes: 4 * oneMB, PageBytes: testPage})
+	target := PFN(777)
+	if !m.carveSpecific(target) {
+		t.Fatal("carve of free page failed")
+	}
+	// Page is no longer handed out by the allocator.
+	seen := map[PFN]bool{}
+	for {
+		pfns, err := m.AllocPages(1, true, 1)
+		if err != nil {
+			break
+		}
+		for _, p := range pfns {
+			if seen[p] {
+				t.Fatalf("page %d allocated twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	if seen[target] {
+		t.Error("carved page was allocated")
+	}
+	if int64(len(seen)) != m.NPages()-1 {
+		t.Errorf("allocated %d pages, want %d", len(seen), m.NPages()-1)
+	}
+	// Carving a non-free page fails.
+	if m.carveSpecific(target) {
+		t.Error("carving already-carved page succeeded")
+	}
+}

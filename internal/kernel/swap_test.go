@@ -1,0 +1,121 @@
+package kernel
+
+import "testing"
+
+func swapMem(t *testing.T) *Mem {
+	t.Helper()
+	m := newMem(t, Config{TotalBytes: 16 * oneMB, PageBytes: testPage})
+	m.ConfigureSwap(8 * oneMB)
+	return m
+}
+
+func TestSwapOutFreesFrames(t *testing.T) {
+	m := swapMem(t)
+	if _, err := m.AllocPages(1000, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := m.Meminfo().FreeBytes
+	n, err := m.SwapOutOwnerPages(5, 300)
+	if err != nil || n != 300 {
+		t.Fatalf("swapped %d, err %v", n, err)
+	}
+	if m.Meminfo().FreeBytes != freeBefore+300*testPage {
+		t.Error("frames not freed by swap-out")
+	}
+	if m.SwappedPageCount(5) != 300 || m.SwapUsedBytes() != 300*testPage {
+		t.Error("swap accounting wrong")
+	}
+	if m.OwnerPageCount(5) != 700 {
+		t.Error("resident count wrong")
+	}
+}
+
+func TestSwapInRestores(t *testing.T) {
+	m := swapMem(t)
+	if _, err := m.AllocPages(1000, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SwapOutOwnerPages(5, 300); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.SwapInOwnerPages(5, 200)
+	if err != nil || n != 200 {
+		t.Fatalf("swapped in %d, err %v", n, err)
+	}
+	if m.SwappedPageCount(5) != 100 || m.OwnerPageCount(5) != 900 {
+		t.Error("accounting after swap-in wrong")
+	}
+	outs, ins := m.SwapTraffic()
+	if outs != 300 || ins != 200 {
+		t.Errorf("traffic = %d/%d", outs, ins)
+	}
+	// Swapping in more than is swapped caps at the swapped count.
+	if n, err := m.SwapInOwnerPages(5, 500); err != nil || n != 100 {
+		t.Errorf("over-swap-in: %d, %v", n, err)
+	}
+}
+
+func TestSwapDeviceCapacity(t *testing.T) {
+	m := newMem(t, Config{TotalBytes: 16 * oneMB, PageBytes: testPage})
+	m.ConfigureSwap(100 * testPage)
+	if _, err := m.AllocPages(1000, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := m.SwapOutOwnerPages(5, 300); err != nil || n != 100 {
+		t.Fatalf("capped swap-out = %d, err %v (want 100)", n, err)
+	}
+	if _, err := m.SwapOutOwnerPages(5, 1); err != ErrSwapFull {
+		t.Errorf("expected ErrSwapFull, got %v", err)
+	}
+	// Without any swap device, swap-out fails cleanly.
+	m2 := newMem(t, Config{TotalBytes: 4 * oneMB, PageBytes: testPage})
+	if _, err := m2.SwapOutOwnerPages(5, 1); err == nil {
+		t.Error("swap without device succeeded")
+	}
+}
+
+func TestDirectReclaimRetriesAllocation(t *testing.T) {
+	m := swapMem(t)
+	// Fill memory with a victim owner.
+	if _, err := m.AllocPages(4096, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	reclaims := 0
+	m.SetReclaimer(func(pages int64) bool {
+		reclaims++
+		n, err := m.SwapOutOwnerPages(5, pages+16)
+		return err == nil && n > 0
+	})
+	// A new allocation that cannot fit must trigger reclaim and succeed.
+	pfns, err := m.AllocPages(64, true, 6)
+	if err != nil {
+		t.Fatalf("allocation with reclaim failed: %v", err)
+	}
+	if len(pfns) != 64 || reclaims == 0 {
+		t.Errorf("pages=%d reclaims=%d", len(pfns), reclaims)
+	}
+	if m.SwappedPageCount(5) == 0 {
+		t.Error("victim not swapped")
+	}
+}
+
+func TestReclaimerCannotRecurse(t *testing.T) {
+	m := swapMem(t)
+	if _, err := m.AllocPages(4096, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	m.SetReclaimer(func(pages int64) bool {
+		depth++
+		if depth > 1 {
+			t.Fatal("reclaimer re-entered")
+		}
+		// A reclaimer that itself allocates must not recurse into reclaim.
+		_, _ = m.AllocPages(10, true, 7)
+		depth--
+		return false
+	})
+	if _, err := m.AllocPages(64, true, 6); err != ErrNoMemory {
+		t.Errorf("expected ErrNoMemory, got %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package ksm
+
+import (
+	"testing"
+
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+// TestUnregisterDuringScanIsSafe: owners dying mid-pass leave dangling
+// unstable-tree entries; later visits must never merge against those dead
+// frames (they have returned to the buddy allocator).
+func TestUnregisterDuringScanIsSafe(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 64 << 20, PageBytes: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one page visit per chunk: full control of pass boundaries.
+	d, err := New(eng, mem, Config{
+		PagesPerScan: 1, ScanPeriod: sim.Millisecond, ScanCostPerPage: sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := []uint64{101, 102, 103}
+	a := allocAndRegister(t, mem, d, 10, img, 0)
+	b := allocAndRegister(t, mem, d, 11, img, 0)
+	// Pass 1 (6 visits): builds checksums only.
+	for i := 0; i < 6; i++ {
+		d.ScanChunk()
+	}
+	// Pass 2 begins: owner 10's first page enters the unstable tree.
+	d.ScanChunk()
+	if d.unstable.Len() == 0 {
+		t.Fatal("setup: no unstable entry yet")
+	}
+	// Owner 10 dies with its page sitting in the unstable tree.
+	d.UnregisterOwner(10)
+	mem.FreeOwner(10)
+	// Many further visits: owner 11 must never merge against the dead
+	// entry, and nothing may crash on the freed frames.
+	for i := 0; i < 60; i++ {
+		d.ScanChunk()
+	}
+	for _, v := range b {
+		if v.Merged() {
+			t.Fatalf("page merged against an unregistered owner's frame")
+		}
+	}
+	if d.SavedPages() != 0 {
+		t.Errorf("SavedPages = %d", d.SavedPages())
+	}
+	_ = a
+}
+
+// TestWriteToUnregisteredPageFails cleanly.
+func TestWriteToUnregisteredPageFails(t *testing.T) {
+	_, mem, d := setup(t, 64)
+	v := allocAndRegister(t, mem, d, 10, []uint64{7}, 0)
+	d.UnregisterOwner(10)
+	if err := d.Write(v[0], 9); err == nil {
+		t.Error("write to dead page accepted")
+	}
+}
+
+// TestScanCostAccounting: CPU time scales with visits.
+func TestScanCostAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	_ = eng
+	_, mem, d := setup(t, 64)
+	allocAndRegister(t, mem, d, 10, make([]uint64, 100), 0)
+	d.ScanChunk()
+	st := d.Stats()
+	if st.Scans == 0 {
+		t.Fatal("no scans")
+	}
+	if st.CPUTime != sim.Time(st.Scans)*d.cfg.ScanCostPerPage {
+		t.Errorf("CPU time %v != scans %d x cost", st.CPUTime, st.Scans)
+	}
+}
+
+// TestMergeChainAfterCoWBreakRejoins: a page that broke CoW and later
+// reverts to the shared content can merge again via the stable tree.
+func TestMergeChainAfterCoWBreakRejoins(t *testing.T) {
+	_, mem, d := setup(t, 64)
+	const shared = uint64(4242)
+	a := allocAndRegister(t, mem, d, 10, []uint64{shared}, 0)
+	b := allocAndRegister(t, mem, d, 11, []uint64{shared}, 0)
+	c := allocAndRegister(t, mem, d, 12, []uint64{shared}, 0)
+	scanPasses(d, 3)
+	if d.SavedPages() != 2 {
+		t.Fatalf("setup: saved = %d", d.SavedPages())
+	}
+	// a writes private content, then reverts to the shared content.
+	if err := d.Write(a[0], 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(a[0], shared); err != nil {
+		t.Fatal(err)
+	}
+	scanPasses(d, 3)
+	if !a[0].Merged() {
+		t.Error("reverted page did not re-merge against the stable tree")
+	}
+	if d.SavedPages() != 2 {
+		t.Errorf("saved = %d after re-merge, want 2", d.SavedPages())
+	}
+	_ = b
+	_ = c
+}

@@ -1,0 +1,117 @@
+package ksm
+
+// tree is the binary search tree KSM uses for both the stable tree (shared
+// write-protected pages) and the unstable tree (merge candidates seen this
+// pass). Keys are page-content digests; mm/ksm.c orders nodes by memcmp of
+// the page contents, which our 64-bit digests stand in for. The tree is
+// unbalanced — digests are uniformly distributed, so expected depth is
+// logarithmic, as in the kernel's rbtree without needing rebalancing here.
+type tree struct {
+	root *treeNode
+	size int
+}
+
+type treeNode struct {
+	key         uint64
+	value       any
+	left, right *treeNode
+}
+
+// Find returns the value stored under key, or nil.
+func (t *tree) Find(key uint64) any {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.value
+		}
+	}
+	return nil
+}
+
+// Insert stores value under key. Duplicate keys are a caller bug: KSM
+// always Finds before Inserting, so a duplicate means the scan logic broke.
+func (t *tree) Insert(key uint64, value any) {
+	link := &t.root
+	for *link != nil {
+		n := *link
+		switch {
+		case key < n.key:
+			link = &n.left
+		case key > n.key:
+			link = &n.right
+		default:
+			panic("ksm: duplicate tree key")
+		}
+	}
+	*link = &treeNode{key: key, value: value}
+	t.size++
+}
+
+// Delete removes key if present, reporting whether it was found.
+func (t *tree) Delete(key uint64) bool {
+	link := &t.root
+	for *link != nil {
+		n := *link
+		switch {
+		case key < n.key:
+			link = &n.left
+		case key > n.key:
+			link = &n.right
+		default:
+			t.removeNode(link)
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// removeNode unlinks *link, replacing it by its in-order successor when it
+// has two children.
+func (t *tree) removeNode(link **treeNode) {
+	n := *link
+	switch {
+	case n.left == nil:
+		*link = n.right
+	case n.right == nil:
+		*link = n.left
+	default:
+		// Splice the minimum of the right subtree into n's place.
+		succLink := &n.right
+		for (*succLink).left != nil {
+			succLink = &(*succLink).left
+		}
+		succ := *succLink
+		*succLink = succ.right
+		succ.left, succ.right = n.left, n.right
+		*link = succ
+	}
+}
+
+// Len reports the number of stored nodes.
+func (t *tree) Len() int { return t.size }
+
+// Clear drops every node (the unstable tree is rebuilt each scan pass).
+func (t *tree) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// Walk visits every (key, value) in key order.
+func (t *tree) Walk(fn func(key uint64, value any)) {
+	var rec func(n *treeNode)
+	rec = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.key, n.value)
+		rec(n.right)
+	}
+	rec(t.root)
+}

@@ -1,0 +1,115 @@
+package ksm
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeBasics(t *testing.T) {
+	var tr tree
+	if tr.Find(5) != nil || tr.Len() != 0 {
+		t.Fatal("empty tree not empty")
+	}
+	tr.Insert(5, "five")
+	tr.Insert(3, "three")
+	tr.Insert(9, "nine")
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Find(3); got != "three" {
+		t.Errorf("Find(3) = %v", got)
+	}
+	if tr.Find(4) != nil {
+		t.Error("Find(4) should be nil")
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Error("Delete semantics broken")
+	}
+	if tr.Find(5) != nil {
+		t.Error("deleted key still found")
+	}
+	if tr.Find(3) != "three" || tr.Find(9) != "nine" {
+		t.Error("unrelated keys disturbed by delete")
+	}
+	tr.Clear()
+	if tr.Len() != 0 || tr.Find(3) != nil {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestTreeDeleteTwoChildren(t *testing.T) {
+	var tr tree
+	for _, k := range []uint64{50, 30, 70, 20, 40, 60, 80, 65} {
+		tr.Insert(k, k)
+	}
+	if !tr.Delete(70) { // node with two children (60 with 65, and 80)
+		t.Fatal("delete failed")
+	}
+	var keys []uint64
+	tr.Walk(func(k uint64, _ any) { keys = append(keys, k) })
+	want := []uint64{20, 30, 40, 50, 60, 65, 80}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("in-order walk = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestTreeDuplicatePanics(t *testing.T) {
+	var tr tree
+	tr.Insert(1, "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	tr.Insert(1, "b")
+}
+
+func TestTreeOrderedWalkProperty(t *testing.T) {
+	// Property: for an arbitrary set of keys (inserted with some random
+	// deletions), Walk yields strictly increasing keys and Find agrees
+	// with membership.
+	f := func(keys []uint64, deletions []uint64) bool {
+		var tr tree
+		present := map[uint64]bool{}
+		for _, k := range keys {
+			if !present[k] {
+				tr.Insert(k, k)
+				present[k] = true
+			}
+		}
+		for _, k := range deletions {
+			if tr.Delete(k) != present[k] {
+				return false
+			}
+			delete(present, k)
+		}
+		var walked []uint64
+		tr.Walk(func(k uint64, v any) {
+			if v != k {
+				return
+			}
+			walked = append(walked, k)
+		})
+		if !sort.SliceIsSorted(walked, func(i, j int) bool { return walked[i] < walked[j] }) {
+			return false
+		}
+		if len(walked) != len(present) || tr.Len() != len(present) {
+			return false
+		}
+		for k := range present {
+			if tr.Find(k) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

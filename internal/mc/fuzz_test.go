@@ -1,0 +1,47 @@
+package mc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: arbitrary input never panics; valid records round-trip
+// through Dump.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("10 40 R\n20 80 W\n")
+	f.Add("# comment\n\n5 0 r\n")
+	f.Add("bogus")
+	f.Add("1 2 3 4")
+	f.Add("-5 ff W")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a dump/parse round trip when the
+		// records are themselves dumpable (non-negative times).
+		tr := &Tracer{records: recs}
+		for _, r := range recs {
+			if r.At < 0 {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.Dump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of dumped trace failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}

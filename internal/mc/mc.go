@@ -1,0 +1,662 @@
+// Package mc implements the memory controller: per-channel FR-FCFS request
+// scheduling over per-bank DDR4 timing, auto-refresh, the rank low-power
+// policy (idle timeout into power-down, then self-refresh — §2.2 of the
+// paper), and the two partial-array control mechanisms the paper contrasts:
+// PASR bank refresh-disable bits and GreenDIMM's sub-array-group deep
+// power-down register.
+//
+// The model is event-driven and cycle-approximate: every request pays real
+// ACT/PRE/CAS/burst constraints against its bank, shares the channel data
+// bus, and wakes sleeping ranks with tXP/tXS penalties, but the command bus
+// itself is not arbitrated cycle by cycle. That is the standard fidelity
+// point for power studies (cf. Ramulator's "simple" frontend), and it is
+// what the paper's claims depend on: who can idle, for how long, and what a
+// wake-up costs.
+package mc
+
+import (
+	"fmt"
+
+	"greendimm/internal/addr"
+	"greendimm/internal/dram"
+	"greendimm/internal/metrics"
+	"greendimm/internal/power"
+	"greendimm/internal/sim"
+)
+
+// Config configures a Controller.
+type Config struct {
+	Org         dram.Org
+	Timing      dram.Timing
+	Interleaved bool
+
+	// LowPower enables the rank idle policy: after PowerDownAfter of rank
+	// idleness the rank enters power-down; after SelfRefreshAfter (from
+	// the same idle start) it moves to self-refresh. Zero values take
+	// defaults. Disable to model a controller with power management off.
+	LowPower         bool
+	PowerDownAfter   sim.Time
+	SelfRefreshAfter sim.Time
+
+	// MaxQueue bounds the per-channel request queue; Submit reports
+	// ErrQueueFull beyond it so closed-loop generators self-throttle.
+	MaxQueue int
+
+	// ClosedPage selects the closed-page row-buffer policy: every access
+	// auto-precharges its row, trading row hits for lower conflict
+	// latency — the controller knob server BIOSes expose.
+	ClosedPage bool
+}
+
+// Defaults mirror conservative server BIOS policies.
+const (
+	defaultPowerDownAfter   = 1 * sim.Microsecond
+	defaultSelfRefreshAfter = 64 * sim.Microsecond
+	defaultMaxQueue         = 64
+)
+
+// ErrQueueFull is reported by Submit when the target channel queue is full.
+var ErrQueueFull = fmt.Errorf("mc: channel queue full")
+
+// request is an in-flight memory request.
+type request struct {
+	loc    addr.Loc
+	write  bool
+	arrive sim.Time
+	done   func(latency sim.Time)
+}
+
+// bank tracks one bank's row-buffer and timing state.
+type bank struct {
+	openRow int // -1 when precharged
+	readyAt sim.Time
+	// canPreAt is when a precharge may start (tRAS/tWR/tRTP constraints
+	// folded in at access time).
+	canPreAt sim.Time
+}
+
+// Rank power-state indices for the residency meter (match dram.PowerState
+// for the four rank-level states).
+const (
+	rsActive = iota
+	rsStandby
+	rsPowerDown
+	rsSelfRefresh
+	rsCount
+)
+
+// rank tracks one rank's power state, refresh, and activate history.
+type rank struct {
+	banks     []bank
+	res       *metrics.Residency
+	state     int
+	idleSince sim.Time
+	// awakeAt: until this time the rank cannot accept commands (wake-up
+	// or refresh in progress).
+	awakeAt   sim.Time
+	actHist   [4]sim.Time // for tFAW
+	actIdx    int
+	pending   int // queued + in-flight requests targeting this rank
+	idleEvSeq uint64
+}
+
+// channel is one memory channel's scheduler state.
+type channel struct {
+	queue     []*request
+	busFreeAt sim.Time
+	kickAt    sim.Time // earliest pending kick event, to dedupe
+	kickSet   bool
+	ranks     []*rank
+}
+
+// Stats is a snapshot of accumulated controller activity.
+type Stats struct {
+	Reads, Writes int64
+	Activations   int64
+	Refreshes     int64
+	RowHits       int64
+	RowMisses     int64 // closed bank (first touch after precharge)
+	RowConflicts  int64 // open row mismatch, needed PRE+ACT
+	WakeUps       int64 // exits from power-down or self-refresh
+	ReadLatency   metrics.Distribution
+}
+
+// Controller is the top-level memory controller for all channels.
+type Controller struct {
+	eng    *sim.Engine
+	cfg    Config
+	mapper *addr.Mapper
+
+	channels []*channel
+	saReg    *dram.SubArrayGroupRegister
+	pasr     *dram.PASRRegister
+	dpdFrac  *metrics.WeightedValue
+
+	rankAccesses []int64 // per global rank, for hotness-driven policies
+	tracer       *Tracer
+
+	stats Stats
+	start sim.Time
+	final bool
+}
+
+// New builds a controller attached to the engine.
+func New(eng *sim.Engine, cfg Config) (*Controller, error) {
+	if err := cfg.Org.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PowerDownAfter == 0 {
+		cfg.PowerDownAfter = defaultPowerDownAfter
+	}
+	if cfg.SelfRefreshAfter == 0 {
+		cfg.SelfRefreshAfter = defaultSelfRefreshAfter
+	}
+	if cfg.SelfRefreshAfter <= cfg.PowerDownAfter {
+		return nil, fmt.Errorf("mc: self-refresh timeout %v must exceed power-down timeout %v",
+			cfg.SelfRefreshAfter, cfg.PowerDownAfter)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	}
+	mapper, err := addr.NewMapper(cfg.Org, cfg.Interleaved)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		eng:     eng,
+		cfg:     cfg,
+		mapper:  mapper,
+		saReg:   dram.NewSubArrayGroupRegister(cfg.Org),
+		pasr:    dram.NewPASRRegister(cfg.Org),
+		dpdFrac: metrics.NewWeightedValue(0, eng.Now()),
+		start:   eng.Now(),
+	}
+	c.rankAccesses = make([]int64, cfg.Org.TotalRanks())
+	now := eng.Now()
+	for ch := 0; ch < cfg.Org.Channels; ch++ {
+		chn := &channel{}
+		for r := 0; r < cfg.Org.RanksPerChannel(); r++ {
+			rk := &rank{
+				banks:     make([]bank, cfg.Org.Banks()),
+				res:       metrics.NewResidency(rsCount, rsStandby, now),
+				state:     rsStandby,
+				idleSince: now,
+			}
+			for b := range rk.banks {
+				rk.banks[b].openRow = -1
+			}
+			for i := range rk.actHist {
+				rk.actHist[i] = -1 // empty: ACTs at t=0 are still real
+			}
+			chn.ranks = append(chn.ranks, rk)
+			c.scheduleRefresh(chn, rk)
+			if cfg.LowPower {
+				c.armIdleTimer(chn, rk)
+			}
+		}
+		c.channels = append(c.channels, chn)
+	}
+	return c, nil
+}
+
+// Mapper exposes the address mapper (shared with the OS layer so both agree
+// on sub-array group boundaries).
+func (c *Controller) Mapper() *addr.Mapper { return c.mapper }
+
+// GroupRegister exposes the GreenDIMM sub-array-group register.
+func (c *Controller) GroupRegister() *dram.SubArrayGroupRegister { return c.saReg }
+
+// PASRRegister exposes the PASR bank bit-vector (used by the PASR baseline).
+func (c *Controller) PASRRegister() *dram.PASRRegister { return c.pasr }
+
+// Submit enqueues a memory access for the cache line containing pa.
+// done (optional) is invoked at completion with the request latency.
+// Submitting to an address whose sub-array group is in deep power-down is
+// a modelling error — the OS has off-lined that range — and panics.
+func (c *Controller) Submit(pa uint64, write bool, done func(sim.Time)) error {
+	loc, err := c.mapper.Decode(pa)
+	if err != nil {
+		return err
+	}
+	if g := c.mapper.SubArrayGroupOfRow(loc.Row); c.saReg.Down(g) {
+		panic(fmt.Sprintf("mc: access %#x to sub-array group %d in deep power-down", pa, g))
+	}
+	chn := c.channels[loc.Channel]
+	if len(chn.queue) >= c.cfg.MaxQueue {
+		return ErrQueueFull
+	}
+	req := &request{loc: loc, write: write, arrive: c.eng.Now(), done: done}
+	chn.queue = append(chn.queue, req)
+	if c.tracer != nil {
+		c.tracer.record(c.eng.Now(), pa, write)
+	}
+	c.rankAccesses[loc.Channel*c.cfg.Org.RanksPerChannel()+loc.Rank]++
+	chn.ranks[loc.Rank].pending++
+	c.wakeIfSleeping(chn, chn.ranks[loc.Rank])
+	c.kick(chn, c.eng.Now())
+	return nil
+}
+
+// QueueLen reports the total queued (not yet issued) requests.
+func (c *Controller) QueueLen() int {
+	n := 0
+	for _, ch := range c.channels {
+		n += len(ch.queue)
+	}
+	return n
+}
+
+// --- scheduling core ---
+
+// kick schedules a scheduling pass on the channel at time at (deduped).
+func (c *Controller) kick(chn *channel, at sim.Time) {
+	if at < c.eng.Now() {
+		at = c.eng.Now()
+	}
+	if chn.kickSet && chn.kickAt <= at {
+		return
+	}
+	chn.kickAt = at
+	chn.kickSet = true
+	c.eng.At(at, func() {
+		if chn.kickAt != at { // superseded by an earlier kick
+			return
+		}
+		chn.kickSet = false
+		c.schedule(chn)
+	})
+}
+
+// schedule issues every request whose bank and rank can accept commands
+// now (FR-FCFS order: ready row hits first, then oldest ready). When no
+// request is ready, the kick timer re-arms at the earliest readiness.
+func (c *Controller) schedule(chn *channel) {
+	now := c.eng.Now()
+	for {
+		idx, nextAt := c.pickReady(chn, now)
+		if idx < 0 {
+			if nextAt >= 0 {
+				c.kick(chn, nextAt)
+			}
+			return
+		}
+		req := chn.queue[idx]
+		chn.queue = append(chn.queue[:idx], chn.queue[idx+1:]...)
+		c.issue(chn, req)
+	}
+}
+
+// pickReady returns the index of the preferred issuable request — among
+// requests whose rank is awake and bank command-ready, row hits beat
+// misses and age breaks ties — or -1 plus the earliest future readiness.
+func (c *Controller) pickReady(chn *channel, now sim.Time) (int, sim.Time) {
+	best := -1
+	bestHit := false
+	var nextAt sim.Time = -1
+	for i, r := range chn.queue {
+		rk := chn.ranks[r.loc.Rank]
+		b := &rk.banks[r.loc.BankGroup*c.cfg.Org.BanksPerGroup+r.loc.Bank]
+		ready := maxTime(rk.awakeAt, b.readyAt)
+		if ready > now {
+			if nextAt < 0 || ready < nextAt {
+				nextAt = ready
+			}
+			continue
+		}
+		hit := b.openRow == r.loc.Row
+		switch {
+		case best < 0:
+			best, bestHit = i, hit
+		case hit && !bestHit:
+			best, bestHit = i, hit
+		case hit == bestHit && r.arrive < chn.queue[best].arrive:
+			best = i
+		}
+	}
+	return best, nextAt
+}
+
+// timeRequest computes (commandStart, dataStart, dataEnd) for a request
+// given current bank/rank/bus state.
+func (c *Controller) timeRequest(chn *channel, req *request) (sim.Time, sim.Time, sim.Time) {
+	t := &c.cfg.Timing
+	now := c.eng.Now()
+	rk := chn.ranks[req.loc.Rank]
+	b := &rk.banks[req.loc.BankGroup*c.cfg.Org.BanksPerGroup+req.loc.Bank]
+
+	cmdStart := maxTime(now, rk.awakeAt, b.readyAt)
+	var casAt sim.Time
+	switch {
+	case b.openRow == req.loc.Row: // row hit
+		casAt = cmdStart
+	case b.openRow < 0: // closed, ACT needed
+		actAt := maxTime(cmdStart, c.fawGate(rk))
+		casAt = actAt + t.TRCD
+	default: // conflict: PRE then ACT
+		preAt := maxTime(cmdStart, b.canPreAt)
+		actAt := maxTime(preAt+t.TRP, c.fawGate(rk))
+		casAt = actAt + t.TRCD
+	}
+	cas := t.TCL
+	if req.write {
+		cas = t.TCWL
+	}
+	dataStart := maxTime(casAt+cas, chn.busFreeAt)
+	return cmdStart, dataStart, dataStart + t.TBL
+}
+
+// fawGate returns the earliest time a new ACT satisfies tFAW.
+func (c *Controller) fawGate(rk *rank) sim.Time {
+	oldest := rk.actHist[rk.actIdx]
+	if oldest < 0 { // fewer than four ACTs so far
+		return 0
+	}
+	return oldest + c.cfg.Timing.TFAW
+}
+
+// issue commits the request: updates bank state, bus, stats, and schedules
+// completion.
+func (c *Controller) issue(chn *channel, req *request) {
+	t := &c.cfg.Timing
+	rk := chn.ranks[req.loc.Rank]
+	b := &rk.banks[req.loc.BankGroup*c.cfg.Org.BanksPerGroup+req.loc.Bank]
+	_, dataStart, dataEnd := c.timeRequest(chn, req)
+
+	switch {
+	case b.openRow == req.loc.Row:
+		c.stats.RowHits++
+	case b.openRow < 0:
+		c.stats.RowMisses++
+		c.recordAct(rk)
+	default:
+		c.stats.RowConflicts++
+		c.recordAct(rk)
+	}
+	b.openRow = req.loc.Row
+
+	// Bank ready for the next column command after the CAS-to-CAS gap
+	// (undo this request's CAS latency, which differs for writes);
+	// precharge legal after write recovery / read-to-precharge.
+	casLat := t.TCL
+	if req.write {
+		casLat = t.TCWL
+	}
+	b.readyAt = dataStart - casLat + t.TCCDL
+	if req.write {
+		b.canPreAt = dataEnd + t.TWR
+	} else {
+		b.canPreAt = maxTime(b.canPreAt, dataStart+t.TRTP)
+	}
+	if c.cfg.ClosedPage {
+		// Auto-precharge: the row closes after this access; the next
+		// access to the bank activates from precharged no earlier than
+		// the precharge completes.
+		b.openRow = -1
+		b.readyAt = maxTime(b.readyAt, b.canPreAt+t.TRP)
+	}
+	chn.busFreeAt = dataEnd
+
+	if req.write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+		c.stats.ReadLatency.Add((dataEnd - req.arrive).Nanoseconds())
+	}
+
+	c.markBusy(rk, dataEnd)
+	done := req.done
+	arrive := req.arrive
+	c.eng.At(dataEnd, func() {
+		rk.pending--
+		if rk.pending == 0 && c.cfg.LowPower {
+			c.armIdleTimer(chn, rk)
+		}
+		if done != nil {
+			done(c.eng.Now() - arrive)
+		}
+	})
+}
+
+func (c *Controller) recordAct(rk *rank) {
+	c.stats.Activations++
+	rk.actHist[rk.actIdx] = c.eng.Now()
+	rk.actIdx = (rk.actIdx + 1) % len(rk.actHist)
+}
+
+func maxTime(ts ...sim.Time) sim.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// --- power-state policy ---
+
+// markBusy transitions the rank to active until at least busyUntil.
+func (c *Controller) markBusy(rk *rank, busyUntil sim.Time) {
+	now := c.eng.Now()
+	if rk.state != rsActive {
+		rk.res.Transition(now, rsActive)
+		rk.state = rsActive
+	}
+	if busyUntil > rk.idleSince {
+		rk.idleSince = busyUntil
+	}
+	rk.idleEvSeq++ // cancel stale idle timers
+}
+
+// armIdleTimer schedules the standby -> power-down -> self-refresh descent
+// once the rank has no pending work.
+func (c *Controller) armIdleTimer(chn *channel, rk *rank) {
+	now := c.eng.Now()
+	if rk.pending > 0 {
+		return
+	}
+	if rk.state == rsActive {
+		at := maxTime(now, rk.idleSince)
+		if at == now {
+			rk.res.Transition(now, rsStandby)
+			rk.state = rsStandby
+			rk.idleSince = now
+		} else {
+			seq := rk.idleEvSeq
+			c.eng.AtDaemon(at, func() {
+				if rk.idleEvSeq == seq && rk.pending == 0 {
+					c.armIdleTimer(chn, rk)
+				}
+			})
+			return
+		}
+	}
+	seq := rk.idleEvSeq
+	if rk.state == rsStandby {
+		c.eng.AtDaemon(now+c.cfg.PowerDownAfter, func() {
+			if rk.idleEvSeq != seq || rk.pending > 0 || rk.state != rsStandby {
+				return
+			}
+			rk.res.Transition(c.eng.Now(), rsPowerDown)
+			rk.state = rsPowerDown
+		})
+		c.eng.AtDaemon(now+c.cfg.SelfRefreshAfter, func() {
+			if rk.idleEvSeq != seq || rk.pending > 0 || rk.state != rsPowerDown {
+				return
+			}
+			rk.res.Transition(c.eng.Now(), rsSelfRefresh)
+			rk.state = rsSelfRefresh
+		})
+	}
+}
+
+// wakeIfSleeping applies the tXP/tXS wake penalty when a request arrives at
+// a sleeping rank.
+func (c *Controller) wakeIfSleeping(chn *channel, rk *rank) {
+	now := c.eng.Now()
+	switch rk.state {
+	case rsPowerDown:
+		rk.awakeAt = maxTime(rk.awakeAt, now+c.cfg.Timing.TXP)
+		c.stats.WakeUps++
+	case rsSelfRefresh:
+		rk.awakeAt = maxTime(rk.awakeAt, now+c.cfg.Timing.TXS)
+		c.stats.WakeUps++
+	default:
+		return
+	}
+	rk.res.Transition(now, rsActive)
+	rk.state = rsActive
+	rk.idleEvSeq++
+	// Self-refresh exit loses the row buffers.
+	for i := range rk.banks {
+		rk.banks[i].openRow = -1
+	}
+}
+
+// --- refresh ---
+
+// scheduleRefresh arms the per-rank tREFI refresh chain. Ranks in
+// self-refresh skip controller REF commands (the device refreshes itself).
+func (c *Controller) scheduleRefresh(chn *channel, rk *rank) {
+	c.eng.AfterDaemon(c.cfg.Timing.TREFI, func() {
+		if c.final {
+			return
+		}
+		if rk.state != rsSelfRefresh {
+			c.stats.Refreshes++
+			t := &c.cfg.Timing
+			start := maxTime(c.eng.Now(), rk.awakeAt)
+			end := start + t.TRFC
+			rk.awakeAt = end
+			for i := range rk.banks {
+				rk.banks[i].openRow = -1
+				if rk.banks[i].readyAt < end {
+					rk.banks[i].readyAt = end
+				}
+			}
+		}
+		c.scheduleRefresh(chn, rk)
+	})
+}
+
+// --- GreenDIMM deep power-down control ---
+
+// EnterGroupDPD puts sub-array group g into deep power-down. The caller
+// (the GreenDIMM daemon) guarantees the OS has off-lined the matching
+// physical range first.
+func (c *Controller) EnterGroupDPD(g int) error {
+	if err := c.saReg.EnterDPD(g); err != nil {
+		return err
+	}
+	c.dpdFrac.Set(c.eng.Now(), c.saReg.DownFraction())
+	return nil
+}
+
+// ExitGroupDPD starts waking group g; ready runs after tDPDX when the
+// group's Ready bit is set — the bit the OS polls before online_pages.
+func (c *Controller) ExitGroupDPD(g int, ready func()) error {
+	if err := c.saReg.BeginExit(g); err != nil {
+		return err
+	}
+	c.dpdFrac.Set(c.eng.Now(), c.saReg.DownFraction())
+	c.eng.After(c.cfg.Timing.TDPDX, func() {
+		c.saReg.CompleteExit(g)
+		if ready != nil {
+			ready()
+		}
+	})
+	return nil
+}
+
+// --- reporting ---
+
+// Finalize freezes residency meters at the current time. Call once, after
+// the simulation drains; reporting methods may be used afterwards.
+func (c *Controller) Finalize() {
+	if c.final {
+		return
+	}
+	c.final = true
+	now := c.eng.Now()
+	for _, ch := range c.channels {
+		for _, rk := range ch.ranks {
+			rk.res.Finalize(now)
+		}
+	}
+}
+
+// Stats returns a snapshot of event counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// Activity assembles the power.Activity summary for the whole run (from
+// construction to Finalize time). Call after Finalize.
+func (c *Controller) Activity() power.Activity {
+	if !c.final {
+		panic("mc: Activity before Finalize")
+	}
+	now := c.eng.Now()
+	a := power.Activity{
+		Window:      now - c.start,
+		Activations: c.stats.Activations,
+		Reads:       c.stats.Reads,
+		Writes:      c.stats.Writes,
+		Refreshes:   c.stats.Refreshes,
+		DPDFrac:     c.dpdFrac.Average(now),
+	}
+	for _, ch := range c.channels {
+		for _, rk := range ch.ranks {
+			a.ActiveT += rk.res.Total(rsActive)
+			a.StandbyT += rk.res.Total(rsStandby)
+			a.PowerDnT += rk.res.Total(rsPowerDown)
+			a.SelfRefT += rk.res.Total(rsSelfRefresh)
+		}
+	}
+	return a
+}
+
+// AccessesByRank returns a copy of per-global-rank access counts since
+// construction (RAMZzz-style hotness input).
+func (c *Controller) AccessesByRank() []int64 {
+	out := make([]int64, len(c.rankAccesses))
+	copy(out, c.rankAccesses)
+	return out
+}
+
+// SelfRefreshFraction reports the average fraction of time ranks spent in
+// self-refresh — the paper's Fig. 3b metric.
+func (c *Controller) SelfRefreshFraction() float64 {
+	var sr, total sim.Time
+	for _, ch := range c.channels {
+		for _, rk := range ch.ranks {
+			for s := 0; s < rsCount; s++ {
+				total += rk.res.Total(s)
+			}
+			sr += rk.res.Total(rsSelfRefresh)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sr) / float64(total)
+}
+
+// LowPowerFraction reports the average fraction of time ranks spent in
+// power-down or self-refresh.
+func (c *Controller) LowPowerFraction() float64 {
+	var lp, total sim.Time
+	for _, ch := range c.channels {
+		for _, rk := range ch.ranks {
+			for s := 0; s < rsCount; s++ {
+				total += rk.res.Total(s)
+			}
+			lp += rk.res.Total(rsPowerDown) + rk.res.Total(rsSelfRefresh)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(lp) / float64(total)
+}

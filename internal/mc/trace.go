@@ -1,0 +1,120 @@
+package mc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"greendimm/internal/sim"
+)
+
+// TraceRecord is one captured memory request.
+type TraceRecord struct {
+	At    sim.Time
+	Addr  uint64
+	Write bool
+}
+
+// Tracer captures every submitted request. Attach with Controller.Trace;
+// write out with Dump; feed back with Replay. The format is one request
+// per line — "<ps> <hex addr> R|W" — trivially diffable and greppable,
+// which is the point: a failing workload run can be captured once and
+// replayed deterministically against controller changes.
+type Tracer struct {
+	records []TraceRecord
+}
+
+// Trace attaches a tracer to the controller; all subsequent Submits are
+// recorded. Returns the tracer.
+func (c *Controller) Trace() *Tracer {
+	tr := &Tracer{}
+	c.tracer = tr
+	return tr
+}
+
+// record appends one request (called from Submit on success).
+func (t *Tracer) record(at sim.Time, addr uint64, write bool) {
+	t.records = append(t.records, TraceRecord{At: at, Addr: addr, Write: write})
+}
+
+// Len reports the number of captured requests.
+func (t *Tracer) Len() int { return len(t.records) }
+
+// Records exposes the captured requests.
+func (t *Tracer) Records() []TraceRecord { return t.records }
+
+// Dump writes the trace in text form.
+func (t *Tracer) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.records {
+		rw := 'R'
+		if r.Write {
+			rw = 'W'
+		}
+		if _, err := fmt.Fprintf(bw, "%d %x %c\n", int64(r.At), r.Addr, rw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads a dumped trace back.
+func ParseTrace(r io.Reader) ([]TraceRecord, error) {
+	var out []TraceRecord
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("mc: trace line %d: want 3 fields, got %q", line, text)
+		}
+		at, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mc: trace line %d: bad time: %w", line, err)
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mc: trace line %d: bad address: %w", line, err)
+		}
+		var write bool
+		switch fields[2] {
+		case "R", "r":
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("mc: trace line %d: bad op %q", line, fields[2])
+		}
+		out = append(out, TraceRecord{At: sim.Time(at), Addr: addr, Write: write})
+	}
+	return out, sc.Err()
+}
+
+// Replay schedules every record against the controller at its original
+// timestamp (records must be time-sorted; earlier-than-now records fail).
+// Returns the number of requests scheduled.
+func Replay(eng *sim.Engine, c *Controller, records []TraceRecord) (int, error) {
+	prev := sim.Time(-1)
+	for i, r := range records {
+		if r.At < prev {
+			return 0, fmt.Errorf("mc: trace record %d out of order", i)
+		}
+		if r.At < eng.Now() {
+			return 0, fmt.Errorf("mc: trace record %d at %v is in the past", i, r.At)
+		}
+		prev = r.At
+		rec := r
+		eng.At(rec.At, func() {
+			// Queue-full drops are acceptable on replay (the original
+			// run's closed loop throttled itself; replay is open-loop).
+			_ = c.Submit(rec.Addr, rec.Write, nil)
+		})
+	}
+	return len(records), nil
+}

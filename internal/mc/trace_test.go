@@ -1,0 +1,111 @@
+package mc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"greendimm/internal/sim"
+)
+
+func TestTraceRecordDumpParseRoundTrip(t *testing.T) {
+	eng, c := newTestController(t, true, false)
+	tr := c.Trace()
+	g := sim.NewRNG(4)
+	for i := 0; i < 50; i++ {
+		a := (g.Uint64() % (64 << 30)) &^ 63
+		if err := c.Submit(a, g.Bool(0.3), nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(eng.Now() + 100*sim.Nanosecond)
+	}
+	eng.Run()
+	if tr.Len() != 50 {
+		t.Fatalf("recorded %d, want 50", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("parsed %d, want 50", len(got))
+	}
+	for i := range got {
+		if got[i] != tr.Records()[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], tr.Records()[i])
+		}
+	}
+}
+
+func TestTraceReplayReproducesStats(t *testing.T) {
+	// A replayed trace drives the controller to the same event counts as
+	// the original run.
+	eng, c := newTestController(t, true, false)
+	tr := c.Trace()
+	g := sim.NewRNG(9)
+	for i := 0; i < 200; i++ {
+		a := (g.Uint64() % (1 << 30)) &^ 63
+		if err := c.Submit(a, g.Bool(0.25), nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.RunUntil(eng.Now() + 200*sim.Nanosecond)
+	}
+	eng.Run()
+	c.Finalize()
+	orig := c.Stats()
+
+	eng2, c2 := newTestController(t, true, false)
+	n, err := Replay(eng2, c2, tr.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("replayed %d, want 200", n)
+	}
+	eng2.Run()
+	c2.Finalize()
+	rep := c2.Stats()
+	if rep.Reads != orig.Reads || rep.Writes != orig.Writes {
+		t.Errorf("replay counts differ: %d/%d vs %d/%d",
+			rep.Reads, rep.Writes, orig.Reads, orig.Writes)
+	}
+	if rep.Activations != orig.Activations || rep.RowHits != orig.RowHits {
+		t.Errorf("replay timing stats differ: act %d vs %d, hits %d vs %d",
+			rep.Activations, orig.Activations, rep.RowHits, orig.RowHits)
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1 2",     // too few fields
+		"x 40 R",  // bad time
+		"10 zz R", // bad addr
+		"10 40 Q", // bad op
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseTrace accepted %q", c)
+		}
+	}
+	// Comments and blanks are fine.
+	recs, err := ParseTrace(strings.NewReader("# header\n\n10 40 W\n"))
+	if err != nil || len(recs) != 1 || !recs[0].Write {
+		t.Errorf("comment handling broken: %v %v", recs, err)
+	}
+}
+
+func TestReplayRejectsDisorder(t *testing.T) {
+	eng, c := newTestController(t, true, false)
+	recs := []TraceRecord{{At: 100, Addr: 0}, {At: 50, Addr: 64}}
+	if _, err := Replay(eng, c, recs); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+	eng.RunUntil(200)
+	if _, err := Replay(eng, c, []TraceRecord{{At: 100, Addr: 0}}); err == nil {
+		t.Error("past-time record accepted")
+	}
+}

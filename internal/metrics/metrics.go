@@ -1,0 +1,168 @@
+// Package metrics provides the small bookkeeping primitives the simulator
+// shares: time-weighted state-residency meters, latency distributions, and
+// time-weighted averages. They are deliberately allocation-light; the
+// controller updates them on every request.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"greendimm/internal/sim"
+)
+
+// Residency accumulates time spent in each of a small set of integer
+// states. States must be in [0, n).
+type Residency struct {
+	totals []sim.Time
+	state  int
+	since  sim.Time
+	final  bool
+}
+
+// NewResidency creates a meter over n states, starting in state initial at
+// time start.
+func NewResidency(n, initial int, start sim.Time) *Residency {
+	if initial < 0 || initial >= n {
+		panic(fmt.Sprintf("metrics: initial state %d out of [0,%d)", initial, n))
+	}
+	return &Residency{totals: make([]sim.Time, n), state: initial, since: start}
+}
+
+// State reports the current state.
+func (r *Residency) State() int { return r.state }
+
+// Transition moves to state s at time at, crediting the elapsed interval to
+// the previous state. Transitions must be non-decreasing in time.
+func (r *Residency) Transition(at sim.Time, s int) {
+	if r.final {
+		panic("metrics: transition after Finalize")
+	}
+	if at < r.since {
+		panic(fmt.Sprintf("metrics: transition at %v before %v", at, r.since))
+	}
+	if s < 0 || s >= len(r.totals) {
+		panic(fmt.Sprintf("metrics: state %d out of range %d", s, len(r.totals)))
+	}
+	r.totals[r.state] += at - r.since
+	r.state = s
+	r.since = at
+}
+
+// Finalize credits time up to at and freezes the meter.
+func (r *Residency) Finalize(at sim.Time) {
+	if r.final {
+		return
+	}
+	r.Transition(at, r.state)
+	r.final = true
+}
+
+// Total reports accumulated time in state s.
+func (r *Residency) Total(s int) sim.Time { return r.totals[s] }
+
+// Fraction reports the share of accumulated time spent in state s.
+func (r *Residency) Fraction(s int) float64 {
+	var sum sim.Time
+	for _, t := range r.totals {
+		sum += t
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(r.totals[s]) / float64(sum)
+}
+
+// WeightedValue integrates a piecewise-constant value over time — used for
+// the time-averaged fraction of sub-array groups in deep power-down.
+type WeightedValue struct {
+	integral float64 // value x picoseconds
+	value    float64
+	since    sim.Time
+	start    sim.Time
+}
+
+// NewWeightedValue starts integrating v at time start.
+func NewWeightedValue(v float64, start sim.Time) *WeightedValue {
+	return &WeightedValue{value: v, since: start, start: start}
+}
+
+// Set changes the value at time at.
+func (w *WeightedValue) Set(at sim.Time, v float64) {
+	if at < w.since {
+		panic(fmt.Sprintf("metrics: weighted value update at %v before %v", at, w.since))
+	}
+	w.integral += w.value * float64(at-w.since)
+	w.value = v
+	w.since = at
+}
+
+// Value reports the current (instantaneous) value.
+func (w *WeightedValue) Value() float64 { return w.value }
+
+// Average reports the time-weighted average from start to at.
+func (w *WeightedValue) Average(at sim.Time) float64 {
+	if at <= w.start {
+		return w.value
+	}
+	integral := w.integral + w.value*float64(at-w.since)
+	return integral / float64(at-w.start)
+}
+
+// Distribution collects scalar samples and reports order statistics. It
+// stores samples; callers sampling millions of points should downsample
+// first (the experiments here collect at most ~10^5 latencies).
+type Distribution struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (d *Distribution) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N reports the sample count.
+func (d *Distribution) N() int { return len(d.samples) }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (d *Distribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range d.samples {
+		s += v
+	}
+	return s / float64(len(d.samples))
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) by
+// nearest-rank, or 0 with no samples.
+func (d *Distribution) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := int(p/100*float64(len(d.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(d.samples) {
+		rank = len(d.samples) - 1
+	}
+	return d.samples[rank]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (d *Distribution) Max() float64 { return d.Percentile(100) }

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greendimm/internal/sim"
+)
+
+func TestResidencyAccumulation(t *testing.T) {
+	r := NewResidency(3, 0, 0)
+	r.Transition(10, 1)
+	r.Transition(25, 2)
+	r.Transition(25, 0) // zero-length stay allowed
+	r.Finalize(30)
+	if got := r.Total(0); got != 10+5 {
+		t.Errorf("state 0 total = %v, want 15", got)
+	}
+	if got := r.Total(1); got != 15 {
+		t.Errorf("state 1 total = %v, want 15", got)
+	}
+	if got := r.Total(2); got != 0 {
+		t.Errorf("state 2 total = %v, want 0", got)
+	}
+	if f := r.Fraction(0); f != 0.5 {
+		t.Errorf("fraction 0 = %v, want 0.5", f)
+	}
+}
+
+func TestResidencyFinalizeIdempotent(t *testing.T) {
+	r := NewResidency(2, 0, 0)
+	r.Finalize(100)
+	r.Finalize(100)
+	if r.Total(0) != 100 {
+		t.Errorf("total = %v, want 100", r.Total(0))
+	}
+}
+
+func TestResidencyPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad initial", func() { NewResidency(2, 5, 0) })
+	r := NewResidency(2, 0, 50)
+	mustPanic("time going backwards", func() { r.Transition(10, 1) })
+	mustPanic("bad state", func() { r.Transition(60, 7) })
+	r2 := NewResidency(2, 0, 0)
+	r2.Finalize(10)
+	mustPanic("transition after finalize", func() { r2.Transition(20, 1) })
+}
+
+func TestResidencyConservation(t *testing.T) {
+	// Property: totals always sum to finalize time minus start time.
+	f := func(steps []uint8) bool {
+		r := NewResidency(4, 0, 0)
+		at := sim.Time(0)
+		for _, s := range steps {
+			at += sim.Time(s % 97)
+			r.Transition(at, int(s%4))
+		}
+		end := at + 13
+		r.Finalize(end)
+		var sum sim.Time
+		for i := 0; i < 4; i++ {
+			sum += r.Total(i)
+		}
+		return sum == end
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedValue(t *testing.T) {
+	w := NewWeightedValue(0, 0)
+	w.Set(10, 1.0) // 0 for 10
+	w.Set(30, 0.5) // 1 for 20
+	// avg at 40: (0*10 + 1*20 + 0.5*10)/40 = 25/40
+	if got := w.Average(40); math.Abs(got-0.625) > 1e-12 {
+		t.Errorf("Average = %v, want 0.625", got)
+	}
+	if w.Value() != 0.5 {
+		t.Errorf("Value = %v, want 0.5", w.Value())
+	}
+	// Average at the start time returns the current value, not NaN.
+	w2 := NewWeightedValue(0.7, 100)
+	if got := w2.Average(100); got != 0.7 {
+		t.Errorf("degenerate average = %v, want 0.7", got)
+	}
+}
+
+func TestWeightedValueMonotonicGuard(t *testing.T) {
+	w := NewWeightedValue(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards Set did not panic")
+		}
+	}()
+	w.Set(50, 1)
+}
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Percentile(95) != 0 {
+		t.Error("empty distribution should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if d.N() != 100 {
+		t.Errorf("N = %d", d.N())
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+	if got := d.Percentile(95); got != 95 {
+		t.Errorf("P95 = %v, want 95", got)
+	}
+	if got := d.Percentile(99); got != 99 {
+		t.Errorf("P99 = %v, want 99", got)
+	}
+	if got := d.Max(); got != 100 {
+		t.Errorf("Max = %v, want 100", got)
+	}
+	// Adding after a percentile query must still work (re-sorts).
+	d.Add(1000)
+	if got := d.Max(); got != 1000 {
+		t.Errorf("Max after add = %v, want 1000", got)
+	}
+}
+
+func TestDistributionPercentileBounds(t *testing.T) {
+	var d Distribution
+	d.Add(5)
+	if d.Percentile(0) != 5 || d.Percentile(100) != 5 || d.Percentile(50) != 5 {
+		t.Error("single-sample percentiles should all be the sample")
+	}
+}

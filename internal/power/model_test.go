@@ -1,0 +1,273 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/sim"
+)
+
+func mustModel(t *testing.T, o dram.Org) *Model {
+	t.Helper()
+	m, err := NewModel(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIdlePowerAnchor256GB(t *testing.T) {
+	// Paper Fig. 2: 256GB idles around 18W. Allow +-20% for our datasheet
+	// parameters vs their measured DIMMs.
+	m := mustModel(t, dram.Org256GB())
+	idle := m.IdleSystemDRAMW()
+	if idle < 14 || idle > 22 {
+		t.Errorf("256GB idle DRAM power = %.1fW, want ~18W", idle)
+	}
+}
+
+func TestIdlePowerScalesWithCapacity(t *testing.T) {
+	prev := 0.0
+	for _, gb := range []int{128, 256, 512, 1024} {
+		o, err := dram.OrgWithCapacity(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idle := mustModel(t, o).IdleSystemDRAMW()
+		if idle <= prev {
+			t.Errorf("%dGB idle %.1fW not greater than smaller capacity %.1fW", gb, idle, prev)
+		}
+		prev = idle
+	}
+	// 1TB idle should land in the ballpark the paper implies (~70W
+	// background out of 91W busy).
+	o, _ := dram.OrgWithCapacity(1024)
+	if idle := mustModel(t, o).IdleSystemDRAMW(); idle < 55 || idle > 90 {
+		t.Errorf("1TB idle = %.1fW, want ~70W", idle)
+	}
+}
+
+func TestStateOrdering(t *testing.T) {
+	// Background power must strictly decrease along
+	// active > standby > power-down > self-refresh.
+	m := mustModel(t, dram.Org64GB())
+	act := m.RankBackgroundW(dram.StateActive, 0)
+	stb := m.RankBackgroundW(dram.StatePrechargeStandby, 0)
+	pd := m.RankBackgroundW(dram.StatePowerDown, 0)
+	sr := m.RankBackgroundW(dram.StateSelfRefresh, 0)
+	if !(act > stb && stb > pd && pd > sr && sr > 0) {
+		t.Errorf("state power ordering violated: act=%v stb=%v pd=%v sr=%v", act, stb, pd, sr)
+	}
+	// Paper §2.2: power-down consumes 40-70% of active; self-refresh can
+	// go down to ~10-40%.
+	if r := pd / act; r < 0.35 || r > 0.75 {
+		t.Errorf("power-down/active ratio = %.2f, want 0.4-0.7", r)
+	}
+	if r := sr / act; r < 0.05 || r > 0.5 {
+		t.Errorf("self-refresh/active ratio = %.2f, want ~0.1-0.4", r)
+	}
+}
+
+func TestDPDPracticallyEliminatesBackground(t *testing.T) {
+	m := mustModel(t, dram.Org64GB())
+	full := m.RankBackgroundW(dram.StatePrechargeStandby, 0)
+	allDown := m.RankBackgroundW(dram.StatePrechargeStandby, 1)
+	if r := allDown / full; r > 0.05 {
+		t.Errorf("DPD residual = %.1f%%, want <5%% ('practically eliminates')", r*100)
+	}
+	// Half down -> roughly half the gateable background.
+	half := m.RankBackgroundW(dram.StatePrechargeStandby, 0.5)
+	want := (full + allDown) / 2
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("half-down background = %v, want %v", half, want)
+	}
+}
+
+func TestRefreshEnergyScalesWithDPD(t *testing.T) {
+	m := mustModel(t, dram.Org64GB())
+	if m.RefEnergyJ(0) <= 0 {
+		t.Fatal("refresh energy must be positive")
+	}
+	if got := m.RefEnergyJ(1); got != 0 {
+		t.Errorf("all-groups-down refresh energy = %v, want 0", got)
+	}
+	if got, want := m.RefEnergyJ(0.25), m.RefEnergyJ(0)*0.75; math.Abs(got-want) > 1e-15 {
+		t.Errorf("quarter-down refresh = %v, want %v", got, want)
+	}
+}
+
+func TestEventEnergiesPositive(t *testing.T) {
+	m := mustModel(t, dram.Org64GB())
+	if m.ActEnergyJ() <= 0 {
+		t.Error("ACT energy must be positive")
+	}
+	if m.BurstEnergyJ(false) <= 0 || m.BurstEnergyJ(true) <= 0 {
+		t.Error("burst energies must be positive")
+	}
+	// Read bursts draw more than writes for these devices (IDD4R > IDD4W).
+	if m.BurstEnergyJ(false) <= m.BurstEnergyJ(true) {
+		t.Error("expected read burst energy > write burst energy")
+	}
+}
+
+func TestFromActivityIdleEqualsIdleEstimate(t *testing.T) {
+	// An all-standby activity window with nominal refresh must agree with
+	// IdleSystemDRAMW.
+	o := dram.Org256GB()
+	m := mustModel(t, o)
+	window := sim.Second
+	ranks := int64(o.TotalRanks())
+	refPerRank := int64(window / m.Timing.TREFI)
+	a := Activity{
+		Window:    window,
+		StandbyT:  window * sim.Time(ranks),
+		Refreshes: refPerRank * ranks,
+	}
+	b, err := m.FromActivity(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := m.IdleSystemDRAMW()
+	if math.Abs(b.TotalW()-idle)/idle > 0.01 {
+		t.Errorf("FromActivity idle = %.2fW, IdleSystemDRAMW = %.2fW", b.TotalW(), idle)
+	}
+	if f := b.BackgroundFraction(); f != 1 {
+		t.Errorf("idle background fraction = %v, want 1", f)
+	}
+}
+
+func TestFromActivityBusyAnchor(t *testing.T) {
+	// Paper Fig. 2: 256GB busy (16 x mcf) ~26W. Model a busy second:
+	// every rank active, aggregate ~28 GB/s of reads+writes with 50% row
+	// hits (16 memory-bound copies on a 4-channel DDR4-2133 machine).
+	o := dram.Org256GB()
+	m := mustModel(t, o)
+	window := sim.Second
+	ranks := int64(o.TotalRanks())
+	lines := int64(28 << 30 / 64) // 28GB/s in cache lines
+	a := Activity{
+		Window:      window,
+		ActiveT:     window * sim.Time(ranks),
+		Activations: lines / 2, // 50% row hit rate
+		Reads:       lines * 2 / 3,
+		Writes:      lines / 3,
+		Refreshes:   int64(window/m.Timing.TREFI) * ranks,
+	}
+	b, err := m.FromActivity(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := b.TotalW(); tot < 20 || tot > 33 {
+		t.Errorf("256GB busy power = %.1fW, want ~26W", tot)
+	}
+	if f := b.BackgroundFraction(); f < 0.5 || f > 0.85 {
+		t.Errorf("busy background fraction = %.2f, want ~0.7 (paper §3.2)", f)
+	}
+}
+
+func TestActivityValidation(t *testing.T) {
+	o := dram.Org64GB()
+	m := mustModel(t, o)
+	if _, err := m.FromActivity(Activity{Window: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+	// Residency not covering window x ranks.
+	if _, err := m.FromActivity(Activity{Window: sim.Second, StandbyT: sim.Second}); err == nil {
+		t.Error("short residency accepted")
+	}
+	if _, err := m.FromActivity(Activity{
+		Window:   sim.Second,
+		StandbyT: sim.Second * sim.Time(o.TotalRanks()),
+		DPDFrac:  1.5,
+	}); err == nil {
+		t.Error("DPDFrac > 1 accepted")
+	}
+}
+
+func TestNewModelRejectsUnknownDensity(t *testing.T) {
+	o := dram.Org64GB()
+	o.DeviceGbit = 16
+	if _, err := NewModel(o); err == nil {
+		t.Error("16Gb without preset accepted")
+	}
+	if _, err := NewModel(dram.Org{}); err == nil {
+		t.Error("invalid org accepted")
+	}
+}
+
+func TestSystemModel(t *testing.T) {
+	s := DefaultSystem()
+	if s.CPUW(0) != s.CPUIdleW || s.CPUW(1) != s.CPUPeakW {
+		t.Error("CPU endpoints wrong")
+	}
+	if s.CPUW(0.5) <= s.CPUIdleW || s.CPUW(0.5) >= s.CPUPeakW {
+		t.Error("CPU interpolation out of range")
+	}
+	// System power is monotone in both arguments.
+	if s.SystemW(0.5, 20) <= s.SystemW(0.5, 10) {
+		t.Error("system power not monotone in DRAM power")
+	}
+	if s.SystemW(0.8, 20) <= s.SystemW(0.2, 20) {
+		t.Error("system power not monotone in CPU utilization")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range utilization did not panic")
+		}
+	}()
+	s.CPUW(1.5)
+}
+
+func TestSystemShareAnchors(t *testing.T) {
+	// The calibration behind Fig. 13: with the VM-trace CPU load (~35%
+	// utilization), DRAM is ~25-30% of system power at 256GB and >=45%
+	// at 1TB, so the paper's DRAM->system reduction ratios follow.
+	s := DefaultSystem()
+	for _, c := range []struct {
+		gb               int
+		loShare, hiShare float64
+	}{
+		{256, 0.20, 0.35},
+		{1024, 0.42, 0.60},
+	} {
+		o, err := dram.OrgWithCapacity(c.gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mustModel(t, o)
+		dramW := m.IdleSystemDRAMW() * 1.15 // mild activity on top of idle
+		share := dramW / s.SystemW(0.35, dramW)
+		if share < c.loShare || share > c.hiShare {
+			t.Errorf("%dGB: DRAM share = %.2f, want [%.2f, %.2f]", c.gb, share, c.loShare, c.hiShare)
+		}
+	}
+}
+
+func TestDPDCost(t *testing.T) {
+	c := DefaultDPDCost()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.3: switches ~0.64% of die area, total <1%.
+	if f := c.SwitchAreaFraction(); math.Abs(f-0.0064) > 0.002 {
+		t.Errorf("switch area fraction = %.4f, want ~0.0064", f)
+	}
+	if c.TotalAreaFraction() >= 0.01 {
+		t.Error("total area fraction must stay under 1%")
+	}
+	if c.ExitLatency != 18*sim.Nanosecond {
+		t.Errorf("exit latency = %v, want 18ns", c.ExitLatency)
+	}
+	bad := c
+	bad.SwitchAreaUm2 *= 10
+	if err := bad.Validate(); err == nil {
+		t.Error("10x switch area should fail validation")
+	}
+}
+
+func TestEnergyJ(t *testing.T) {
+	if EnergyJ(10, 3) != 30 {
+		t.Error("EnergyJ arithmetic wrong")
+	}
+}

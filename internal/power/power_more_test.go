@@ -1,0 +1,134 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/sim"
+)
+
+// TestBreakdownComponentsSum: TotalW is exactly the component sum, and
+// BackgroundFraction is the background share.
+func TestBreakdownComponentsSum(t *testing.T) {
+	b := Breakdown{BackgroundW: 4, RefreshW: 1, ActPreW: 2, RdWrW: 3, DIMMStaticW: 0.5}
+	if got := b.TotalW(); got != 10.5 {
+		t.Errorf("TotalW = %v", got)
+	}
+	if got := b.BackgroundFraction(); math.Abs(got-5.5/10.5) > 1e-12 {
+		t.Errorf("BackgroundFraction = %v", got)
+	}
+	if (Breakdown{}).BackgroundFraction() != 0 {
+		t.Error("empty breakdown fraction should be 0")
+	}
+}
+
+// TestIOEnergyMonotone: the interface-energy knob raises burst energy
+// linearly and leaves everything else alone.
+func TestIOEnergyMonotone(t *testing.T) {
+	m, err := NewModel(dram.Org64GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.BurstEnergyJ(false)
+	m.IOEnergyPJPerBit *= 2
+	boosted := m.BurstEnergyJ(false)
+	if boosted <= base {
+		t.Error("doubling IO energy did not raise burst energy")
+	}
+	// The added amount is exactly the extra pJ/bit x 512 bits.
+	extra := m.IOEnergyPJPerBit / 2 * 1e-12 * 512
+	if math.Abs((boosted-base)-extra) > 1e-18 {
+		t.Errorf("IO delta = %v, want %v", boosted-base, extra)
+	}
+	if m.ActEnergyJ() <= 0 {
+		t.Error("ACT energy perturbed")
+	}
+}
+
+// TestFromActivityMixedStatesProperty: any residency split that covers
+// the window yields a background power between the all-self-refresh floor
+// and the all-active ceiling.
+func TestFromActivityMixedStatesProperty(t *testing.T) {
+	o := dram.Org64GB()
+	m, err := NewModel(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sim.Second
+	total := window * sim.Time(o.TotalRanks())
+	floorB, _ := m.FromActivity(Activity{Window: window, SelfRefT: total})
+	ceilB, _ := m.FromActivity(Activity{Window: window, ActiveT: total})
+	f := func(a8, s8, p8 uint8) bool {
+		// Random split of the residency across the four states.
+		a := sim.Time(a8)
+		s := sim.Time(s8)
+		p := sim.Time(p8)
+		sum := a + s + p + 1
+		act := Activity{
+			Window:   window,
+			ActiveT:  total * a / sum,
+			StandbyT: total * s / sum,
+			PowerDnT: total * p / sum,
+		}
+		act.SelfRefT = total - act.ActiveT - act.StandbyT - act.PowerDnT
+		b, err := m.FromActivity(act)
+		if err != nil {
+			return false
+		}
+		return b.BackgroundW >= floorB.BackgroundW-1e-9 &&
+			b.BackgroundW <= ceilB.BackgroundW+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDPDMonotoneInFraction: more groups down never costs more power.
+func TestDPDMonotoneInFraction(t *testing.T) {
+	m, err := NewModel(dram.Org256GB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for frac := 0.0; frac <= 1.0; frac += 0.1 {
+		w := m.RankBackgroundW(dram.StatePrechargeStandby, frac) + m.RefEnergyJ(frac)
+		if w > prev {
+			t.Fatalf("power increased at frac %.1f", frac)
+		}
+		prev = w
+	}
+}
+
+// TestBusyMinusIdleTracksBandwidth: activity power scales linearly with
+// the request rate (the Fig. 2 busy-idle gap).
+func TestBusyMinusIdleTracksBandwidth(t *testing.T) {
+	o := dram.Org256GB()
+	m, err := NewModel(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := sim.Second
+	ranks := int64(o.TotalRanks())
+	mk := func(gbps int64) float64 {
+		lines := gbps << 30 / 64
+		a := Activity{
+			Window:      window,
+			ActiveT:     window * sim.Time(ranks),
+			Refreshes:   int64(window/m.Timing.TREFI) * ranks,
+			Activations: lines / 2,
+			Reads:       lines / 2,
+			Writes:      lines / 2,
+		}
+		b, err := m.FromActivity(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.ActPreW + b.RdWrW
+	}
+	w10, w20 := mk(10), mk(20)
+	if math.Abs(w20-2*w10)/w20 > 0.01 {
+		t.Errorf("activity power not linear: %v at 10GB/s, %v at 20GB/s", w10, w20)
+	}
+}

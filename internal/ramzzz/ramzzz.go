@@ -1,0 +1,297 @@
+// Package ramzzz implements the RAMZzz baseline (Wu et al., SC'12) as a
+// working daemon rather than the analytic adjustment internal/baseline
+// uses for the Fig. 9/10 comparison: every epoch it classifies ranks by
+// access count, migrates pages out of cold, lightly-occupied ranks into
+// hot ranks, and relies on the memory controller's idle policy to demote
+// the emptied ranks to self-refresh.
+//
+// Its limitation — the one the GreenDIMM paper leans on — falls out
+// naturally here: under an interleaved address map, every page spans
+// every rank, so the per-rank page census finds no rank worth emptying
+// and the daemon migrates nothing.
+package ramzzz
+
+import (
+	"fmt"
+	"sort"
+
+	"greendimm/internal/addr"
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+// AccessSource supplies per-global-rank access counts (satisfied by
+// *mc.Controller).
+type AccessSource interface {
+	AccessesByRank() []int64
+}
+
+// Config tunes the daemon.
+type Config struct {
+	// Epoch is the reorganization period (the RAMZzz paper uses epochs
+	// of tens of ms to seconds; 1s matches our monitor granularity).
+	Epoch sim.Time
+	// MigrateBudgetPages bounds migrations per epoch (migration has real
+	// bandwidth cost; RAMZzz rate-limits it).
+	MigrateBudgetPages int64
+	// MinResidentPages: ranks holding more than this many pages are not
+	// worth emptying this epoch.
+	MinResidentPages int64
+	// HotAccessFrac: a rank receiving more than this fraction of the
+	// epoch's accesses is hot and never a victim, however small its
+	// residency.
+	HotAccessFrac float64
+}
+
+// DefaultConfig returns a paper-faithful setup for 1MB-page simulations.
+func DefaultConfig() Config {
+	return Config{
+		Epoch:              sim.Second,
+		MigrateBudgetPages: 2048,
+		MinResidentPages:   4096,
+		HotAccessFrac:      0.05,
+	}
+}
+
+// Stats accumulates daemon activity.
+type Stats struct {
+	Epochs         int64
+	MigratedPages  int64
+	RanksEmptied   int64
+	MigrationFails int64
+}
+
+// Daemon is the RAMZzz reorganizer.
+type Daemon struct {
+	eng    *sim.Engine
+	mem    *kernel.Mem
+	mapper *addr.Mapper
+	src    AccessSource // optional; page census alone works without it
+	cfg    Config
+
+	rankBytes    int64
+	totalRanks   int
+	prevAccesses []int64
+	running      bool
+	stats        Stats
+}
+
+// New builds a daemon. The mapper must be the controller's, so the page
+// census sees the same rank placement the hardware uses.
+func New(eng *sim.Engine, mem *kernel.Mem, mapper *addr.Mapper, src AccessSource, cfg Config) (*Daemon, error) {
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("ramzzz: non-positive epoch")
+	}
+	if cfg.MigrateBudgetPages <= 0 {
+		return nil, fmt.Errorf("ramzzz: non-positive migration budget")
+	}
+	org := mapper.Org()
+	if org.TotalBytes() != mem.NPages()*mem.PageBytes() {
+		return nil, fmt.Errorf("ramzzz: memory (%d) and DRAM (%d) sizes differ",
+			mem.NPages()*mem.PageBytes(), org.TotalBytes())
+	}
+	return &Daemon{
+		eng: eng, mem: mem, mapper: mapper, src: src, cfg: cfg,
+		rankBytes:  org.RankBytes(),
+		totalRanks: org.TotalRanks(),
+	}, nil
+}
+
+// Start arms the epoch timer.
+func (d *Daemon) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.arm()
+}
+
+// Stop pauses the daemon.
+func (d *Daemon) Stop() { d.running = false }
+
+func (d *Daemon) arm() {
+	d.eng.AfterDaemon(d.cfg.Epoch, func() {
+		if !d.running {
+			return
+		}
+		d.Epoch()
+		d.arm()
+	})
+}
+
+// Stats returns accumulated counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// rankOfPage returns the global rank a page maps to, or -1 when the page
+// spans multiple ranks (interleaved mapping) and is therefore unmovable in
+// the rank-packing sense.
+func (d *Daemon) rankOfPage(pfn kernel.PFN) int {
+	base := uint64(pfn) * uint64(d.mem.PageBytes())
+	first, err := d.mapper.Decode(base)
+	if err != nil {
+		return -1
+	}
+	org := d.mapper.Org()
+	rank := first.Channel*org.RanksPerChannel() + first.Rank
+	// Sample another line of the page; interleaved maps place it
+	// elsewhere.
+	if d.mem.PageBytes() >= 128 {
+		second, err := d.mapper.Decode(base + 64)
+		if err != nil {
+			return -1
+		}
+		if r2 := second.Channel*org.RanksPerChannel() + second.Rank; r2 != rank {
+			return -1
+		}
+	}
+	return rank
+}
+
+// Census counts resident (allocated) pages per global rank; the second
+// return value reports pages that span ranks (interleaved placement).
+func (d *Daemon) Census() (perRank []int64, spanning int64) {
+	perRank = make([]int64, d.totalRanks)
+	for pfn := kernel.PFN(0); pfn < kernel.PFN(d.mem.NPages()); pfn++ {
+		switch d.mem.State(pfn) {
+		case kernel.PageMovable, kernel.PageUnmovable:
+			if r := d.rankOfPage(pfn); r >= 0 {
+				perRank[r]++
+			} else {
+				spanning++
+			}
+		}
+	}
+	return perRank, spanning
+}
+
+// Epoch performs one reorganization pass.
+func (d *Daemon) Epoch() {
+	d.stats.Epochs++
+	perRank, spanning := d.Census()
+	if spanning > 0 {
+		// Interleaved placement: pages have no single home rank, rank
+		// packing is impossible — RAMZzz's blind spot.
+		return
+	}
+	// Epoch access delta per rank (hotness).
+	var access []int64
+	if d.src != nil {
+		cur := d.src.AccessesByRank()
+		access = make([]int64, len(cur))
+		for i := range cur {
+			prev := int64(0)
+			if i < len(d.prevAccesses) {
+				prev = d.prevAccesses[i]
+			}
+			access[i] = cur[i] - prev
+		}
+		d.prevAccesses = cur
+	}
+
+	// Victim ranks: few resident pages, coldest first. Skip rank-spanning
+	// kernel pinned ranks implicitly (unmovable pages fail migration and
+	// count as fails; cheap enough at this census granularity).
+	type cand struct {
+		rank  int
+		pages int64
+		acc   int64
+	}
+	var totalAccess int64
+	for _, a := range access {
+		totalAccess += a
+	}
+	var victims []cand
+	for r, n := range perRank {
+		if n == 0 || n > d.cfg.MinResidentPages {
+			continue
+		}
+		a := int64(0)
+		if access != nil && r < len(access) {
+			a = access[r]
+		}
+		// Hot ranks are destinations, never victims.
+		if totalAccess > 0 && float64(a) > d.cfg.HotAccessFrac*float64(totalAccess) {
+			continue
+		}
+		victims = append(victims, cand{rank: r, pages: n, acc: a})
+	}
+	if len(victims) == 0 {
+		return
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].acc != victims[j].acc {
+			return victims[i].acc < victims[j].acc
+		}
+		if victims[i].pages != victims[j].pages {
+			return victims[i].pages < victims[j].pages
+		}
+		return victims[i].rank > victims[j].rank // prefer emptying high ranks
+	})
+
+	// Destinations must avoid EVERY victim rank, or victims would just
+	// swap pages among themselves forever.
+	victimSet := map[int]bool{}
+	for _, v := range victims {
+		victimSet[v.rank] = true
+	}
+	avoid := func(p kernel.PFN) bool {
+		return victimSet[int(int64(p)*d.mem.PageBytes()/d.rankBytes)]
+	}
+	budget := d.cfg.MigrateBudgetPages
+	for _, v := range victims {
+		if budget <= 0 {
+			return
+		}
+		if v.pages > budget {
+			continue // cannot finish this rank this epoch; try a smaller one
+		}
+		if d.emptyRank(v.rank, avoid, &budget) {
+			d.stats.RanksEmptied++
+		}
+	}
+}
+
+// emptyRank migrates every movable page out of the rank. The buddy
+// allocator's lowest-first placement naturally packs destinations into
+// the hot low ranks. Reports whether the rank ended empty.
+func (d *Daemon) emptyRank(rank int, avoid func(kernel.PFN) bool, budget *int64) bool {
+	lo, hi := d.rankPFNRange(rank)
+	empty := true
+	for pfn := lo; pfn < hi && *budget > 0; pfn++ {
+		switch d.mem.State(pfn) {
+		case kernel.PageMovable:
+			if _, err := d.mem.MigratePageAvoid(pfn, avoid); err != nil {
+				d.stats.MigrationFails++
+				empty = false
+				continue
+			}
+			// The freed frame goes back to the allocator.
+			d.mem.Unisolate(pfn)
+			d.stats.MigratedPages++
+			*budget--
+		case kernel.PageUnmovable:
+			d.stats.MigrationFails++
+			empty = false
+		}
+	}
+	if *budget <= 0 {
+		// Unfinished sweep: check the remainder.
+		for pfn := lo; pfn < hi; pfn++ {
+			st := d.mem.State(pfn)
+			if st == kernel.PageMovable || st == kernel.PageUnmovable {
+				return false
+			}
+		}
+	}
+	return empty
+}
+
+// rankPFNRange converts a global rank index to its PFN range under the
+// contiguous mapping (rank r owns one contiguous slab).
+func (d *Daemon) rankPFNRange(rank int) (lo, hi kernel.PFN) {
+	// Contiguous map order is channel-major: channel owns
+	// RanksPerChannel consecutive slabs.
+	pagesPerRank := d.rankBytes / d.mem.PageBytes()
+	lo = kernel.PFN(int64(rank) * pagesPerRank)
+	return lo, lo + kernel.PFN(pagesPerRank)
+}

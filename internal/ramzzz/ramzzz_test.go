@@ -1,0 +1,194 @@
+package ramzzz
+
+import (
+	"testing"
+
+	"greendimm/internal/addr"
+	"greendimm/internal/dram"
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+const pageMB = 1 << 20
+
+func setup(t *testing.T, interleaved bool) (*sim.Engine, *kernel.Mem, *Daemon) {
+	t.Helper()
+	org := dram.Org64GB()
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: org.TotalBytes(), PageBytes: pageMB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := addr.NewMapper(org, interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(eng, mem, m, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mem, d
+}
+
+// scatter allocates across several ranks then frees most of it, leaving a
+// sparse footprint spread over the low ranks.
+func scatter(t *testing.T, mem *kernel.Mem) {
+	t.Helper()
+	// 12GB across 3 ranks (4GB ranks), as 3 owners.
+	for o := uint32(10); o < 13; o++ {
+		if _, err := mem.AllocPages(4096, true, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free two owners' pages except a remnant, leaving ranks 1 and 2
+	// lightly occupied (interleaved ownership keeps remnants spread).
+	mem.FreeOwnerPages(11, 4096-300)
+	mem.FreeOwnerPages(12, 4096-300)
+}
+
+func occupiedRanks(d *Daemon) int {
+	perRank, _ := d.Census()
+	n := 0
+	for _, c := range perRank {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPacksScatteredFootprint(t *testing.T) {
+	_, mem, d := setup(t, false)
+	scatter(t, mem)
+	before := occupiedRanks(d)
+	if before < 3 {
+		t.Fatalf("setup: footprint occupies %d ranks, want >= 3", before)
+	}
+	for i := 0; i < 5; i++ {
+		d.Epoch()
+	}
+	after := occupiedRanks(d)
+	if after >= before {
+		t.Errorf("RAMZzz did not consolidate: %d -> %d occupied ranks", before, after)
+	}
+	st := d.Stats()
+	if st.MigratedPages == 0 || st.RanksEmptied == 0 {
+		t.Errorf("stats = %+v, want migrations and emptied ranks", st)
+	}
+	// Owners keep all their pages.
+	if mem.OwnerPageCount(11) != 300 || mem.OwnerPageCount(12) != 300 {
+		t.Error("migration lost pages")
+	}
+	if mem.OwnerPageCount(10) != 4096 {
+		t.Error("untouched owner lost pages")
+	}
+}
+
+func TestInterleavingDefeatsRAMZzz(t *testing.T) {
+	_, mem, d := setup(t, true)
+	scatter(t, mem)
+	for i := 0; i < 5; i++ {
+		d.Epoch()
+	}
+	st := d.Stats()
+	if st.MigratedPages != 0 {
+		t.Errorf("RAMZzz migrated %d pages under interleaving; placement is futile there",
+			st.MigratedPages)
+	}
+	// The census must classify interleaved pages as rank-spanning.
+	_, spanning := d.Census()
+	if spanning == 0 {
+		t.Error("no pages reported as rank-spanning under interleaving")
+	}
+}
+
+func TestRespectsMigrationBudget(t *testing.T) {
+	eng, mem, _ := setup(t, false)
+	m, err := addr.NewMapper(dram.Org64GB(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MigrateBudgetPages = 100
+	d, err := New(eng, mem, m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scatter(t, mem)
+	d.Epoch()
+	if got := d.Stats().MigratedPages; got > 100 {
+		t.Errorf("migrated %d pages, budget 100", got)
+	}
+}
+
+func TestSkipsHeavyRanks(t *testing.T) {
+	eng, mem, _ := setup(t, false)
+	m, err := addr.NewMapper(dram.Org64GB(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MinResidentPages = 100 // nothing qualifies
+	d, err := New(eng, mem, m, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scatter(t, mem) // remnants are 300 pages per owner
+	d.Epoch()
+	if got := d.Stats().MigratedPages; got != 0 {
+		t.Errorf("migrated %d pages from ranks above the residency bound", got)
+	}
+}
+
+func TestUnmovablePagesBlockEmptying(t *testing.T) {
+	_, mem, d := setup(t, false)
+	// Pin a kernel page inside rank 1, plus a light movable remnant.
+	if _, err := mem.AllocPages(4096, true, 10); err != nil { // fills rank 0
+		t.Fatal(err)
+	}
+	if _, err := mem.AllocPages(10, false, kernel.KernelOwner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.AllocPages(50, true, 11); err != nil {
+		t.Fatal(err)
+	}
+	d.Epoch()
+	st := d.Stats()
+	if st.MigrationFails == 0 {
+		t.Error("unmovable pages should register as migration failures")
+	}
+	if st.RanksEmptied != 0 {
+		t.Error("rank with kernel pages reported as emptied")
+	}
+}
+
+func TestPeriodicOperation(t *testing.T) {
+	eng, mem, d := setup(t, false)
+	scatter(t, mem)
+	d.Start()
+	eng.RunUntil(5 * sim.Second)
+	d.Stop()
+	if d.Stats().Epochs < 4 {
+		t.Errorf("epochs = %d, want ~5", d.Stats().Epochs)
+	}
+	if occupiedRanks(d) >= 3 {
+		t.Error("periodic operation failed to consolidate")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	org := dram.Org64GB()
+	mem, _ := kernel.New(kernel.Config{TotalBytes: org.TotalBytes(), PageBytes: pageMB})
+	m, _ := addr.NewMapper(org, false)
+	if _, err := New(eng, mem, m, nil, Config{Epoch: 0, MigrateBudgetPages: 1}); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	if _, err := New(eng, mem, m, nil, Config{Epoch: sim.Second}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	small, _ := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: pageMB})
+	if _, err := New(eng, small, m, nil, DefaultConfig()); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package report renders experiment results as aligned text tables and
+// simple ASCII series — the output format of the benchmark harness that
+// regenerates each of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a label column and numeric columns.
+type Table struct {
+	Title   string
+	Columns []string // column headers, excluding the label column
+	rows    []row
+}
+
+type row struct {
+	label  string
+	values []string
+}
+
+// NewTable creates a table.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of float values rendered with 3 significant
+// decimals (trailing zeros trimmed).
+func (t *Table) AddRow(label string, values ...float64) {
+	vs := make([]string, len(values))
+	for i, v := range values {
+		vs[i] = formatNum(v)
+	}
+	t.rows = append(t.rows, row{label: label, values: vs})
+}
+
+// AddRowStrings appends a row of preformatted cells.
+func (t *Table) AddRowStrings(label string, values ...string) {
+	t.rows = append(t.rows, row{label: label, values: values})
+}
+
+// Rows reports the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Value returns the raw cell (r, c) as text.
+func (t *Table) Value(r, c int) string { return t.rows[r].values[c] }
+
+// Label returns row r's label.
+func (t *Table) Label(r int) string { return t.rows[r].label }
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns)+1)
+	for _, c := range t.rows {
+		if len(c.label) > widths[0] {
+			widths[0] = len(c.label)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, v := range r.values {
+			if i+1 < len(widths) && len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	writeRow := func(label string, cells []string) {
+		fmt.Fprintf(&b, "  %-*s", widths[0], label)
+		for i, c := range cells {
+			w := 10
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow("", t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		sep[i] = strings.Repeat("-", len(c))
+	}
+	writeRow(strings.Repeat("-", widths[0]), sep)
+	for _, r := range t.rows {
+		writeRow(r.label, r.values)
+	}
+	return b.String()
+}
+
+// Series is a labeled (x, y) sequence — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Min and Max report the Y extremes (0,0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, v := range s.Y {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max reports the largest Y.
+func (s *Series) Max() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	m := s.Y[0]
+	for _, v := range s.Y {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean reports the mean Y.
+func (s *Series) Mean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Sparkline renders the series as a one-line unicode plot, handy for
+// eyeballing Fig. 1/12-style time series in terminal output.
+func (s *Series) Sparkline(width int) string {
+	if len(s.Y) == 0 || width <= 0 {
+		return ""
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := s.Min(), s.Max()
+	span := hi - lo
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		idx := i * len(s.Y) / width
+		v := s.Y[idx]
+		m := 0
+		if span > 0 {
+			m = int((v - lo) / span * float64(len(marks)-1))
+		}
+		out[i] = marks[m]
+	}
+	return string(out)
+}

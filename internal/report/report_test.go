@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "col-a", "b")
+	tb.AddRow("first", 1, 2.5)
+	tb.AddRow("second-longer", 123.456, 0.000123)
+	tb.AddRowStrings("third", "x", "y")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"col-a", "first", "second-longer", "123.5", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every line has the same structure: rows render as aligned columns.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+2+3 { // title + header + separator + 3 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 3 || tb.Label(1) != "second-longer" {
+		t.Error("accessors broken")
+	}
+	if tb.Value(0, 1) != "2.5" {
+		t.Errorf("Value(0,1) = %q", tb.Value(0, 1))
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		42:       "42",
+		-3:       "-3",
+		2.5:      "2.5",
+		123.456:  "123.5",
+		0.000123: "0.000123",
+	}
+	for v, want := range cases {
+		if got := formatNum(v); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Sparkline(10) != "" || s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 {
+		t.Error("empty series should degrade gracefully")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i%10))
+	}
+	if s.Min() != 0 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	spark := s.Sparkline(20)
+	if len([]rune(spark)) != 20 {
+		t.Errorf("sparkline width = %d", len([]rune(spark)))
+	}
+	// A flat series renders the lowest mark everywhere.
+	var flat Series
+	flat.Add(0, 5)
+	flat.Add(1, 5)
+	fs := flat.Sparkline(4)
+	for _, r := range fs {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", fs)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a particular simulated time.
+// Events scheduled for the same time run in scheduling order (stable).
+// Daemon events (periodic refresh, idle timers) do not keep Run alive:
+// Run returns once only daemon events remain.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	daemon bool
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation engine.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	normal  int // count of queued non-daemon events
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it always indicates a modelling bug, and silently reordering events would
+// corrupt every downstream statistic.
+func (e *Engine) At(at Time, fn func()) {
+	e.push(at, fn, false)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// AtDaemon schedules a daemon event: it runs normally under RunUntil and
+// whenever ordinary events are still pending, but does not by itself keep
+// Run alive. Use for perpetual background activity (refresh, idle timers).
+func (e *Engine) AtDaemon(at Time, fn func()) {
+	e.push(at, fn, true)
+}
+
+// AfterDaemon schedules a daemon event d after the current time.
+func (e *Engine) AfterDaemon(d Time, fn func()) { e.AtDaemon(e.now+d, fn) }
+
+func (e *Engine) push(at Time, fn func(), daemon bool) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	if !daemon {
+		e.normal++
+	}
+	heap.Push(&e.queue, &Event{at: at, seq: e.seq, fn: fn, daemon: daemon})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run/RunUntil call return after the event that is
+// executing now finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil executes events in time order until the queue is empty or the
+// next event is later than deadline. The clock is left at the time of the
+// last executed event (or at deadline if it advanced past all events).
+// It returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) int {
+	e.stopped = false
+	n := 0
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		if !next.daemon {
+			e.normal--
+		}
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
+// Run executes events in time order until no non-daemon events remain or
+// Stop is called. Daemon events occurring before the last ordinary event
+// still execute; trailing daemon events stay queued.
+// It returns the number of events executed.
+func (e *Engine) Run() int {
+	e.stopped = false
+	n := 0
+	for e.normal > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if !ev.daemon {
+			e.normal--
+		}
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+// Package sim provides the discrete-event simulation substrate shared by
+// every other package in this repository: a simulated clock, an event
+// engine, and a deterministic random-number source.
+//
+// All simulated time is expressed as Time, an integer count of picoseconds.
+// Picoseconds are fine enough to represent DDR4 clock periods exactly
+// (DDR4-2133 tCK = 938ps after rounding) while an int64 still spans about
+// 106 simulated days, comfortably more than the 24-hour traces simulated
+// here.
+package sim
+
+import "fmt"
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds returns t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts a float number of seconds into a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String renders the time with a unit chosen by magnitude, e.g. "1.58ms".
+func (t Time) String() string {
+	neg := ""
+	if t < 0 {
+		neg = "-"
+		t = -t
+	}
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%s%.6gs", neg, t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%s%.6gms", neg, t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%s%.6gus", neg, t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%s%.6gns", neg, t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%s%dps", neg, int64(t))
+	}
+}

@@ -1,0 +1,247 @@
+package vmtrace
+
+import (
+	"testing"
+
+	"greendimm/internal/kernel"
+	"greendimm/internal/ksm"
+	"greendimm/internal/sim"
+)
+
+const page2M = 2 << 20
+
+func newHost(t *testing.T, withKSM bool, hours int) (*sim.Engine, *kernel.Mem, *Host) {
+	t.Helper()
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 256 << 30, PageBytes: page2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *ksm.Daemon
+	if withKSM {
+		// The paper's 1000 x 4KB pages / 50ms scan rate (~80MB/s), in
+		// 2MB pages; per-page cost scaled to keep ksmd at ~10% of a core.
+		d, err = ksm.New(eng, mem, ksm.Config{
+			PagesPerScan: 2, ScanPeriod: 50 * sim.Millisecond,
+			ScanCostPerPage: 2560 * sim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+	}
+	h, err := New(eng, mem, d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	eng.RunUntil(sim.Time(hours) * sim.Hour)
+	return eng, mem, h
+}
+
+func TestTypePopulationShape(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 256 << 30, PageBytes: page2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(eng, mem, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := h.Types()
+	if len(types) != 100 {
+		t.Fatalf("types = %d, want 100", len(types))
+	}
+	small, large := 0, 0
+	for _, ty := range types {
+		if ty.VCPUs <= 2 {
+			small++
+		}
+		if ty.MemGB >= 16 {
+			large++
+		}
+		if ty.MemGB < 2*ty.VCPUs || ty.MemGB > 8*ty.VCPUs {
+			t.Errorf("type memory %dGB out of band for %d vCPUs", ty.MemGB, ty.VCPUs)
+		}
+		if ty.MeanLife <= 0 {
+			t.Error("non-positive lifetime")
+		}
+	}
+	// Azure shape: most VMs small, a visible tail of big ones.
+	if small < 60 {
+		t.Errorf("small VM types = %d/100, want majority", small)
+	}
+	if large == 0 {
+		t.Error("no large VM types in population")
+	}
+}
+
+func TestUtilizationBandMatchesFig1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24h trace in -short mode")
+	}
+	_, _, h := newHost(t, false, 24)
+	avg := h.AvgUsedFrac()
+	// Paper Fig. 1: average 48%, range 7-92%. Allow a generous band for
+	// the synthetic trace.
+	if avg < 0.35 || avg < 0.0 || avg > 0.62 {
+		t.Errorf("average utilization = %.2f, want ~0.48", avg)
+	}
+	lo, hi := 1.0, 0.0
+	for _, s := range h.Samples() {
+		if s.UsedFrac < lo {
+			lo = s.UsedFrac
+		}
+		if s.UsedFrac > hi {
+			hi = s.UsedFrac
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("utilization swing = [%.2f, %.2f]; want a wide diurnal band", lo, hi)
+	}
+	if hi > 0.93 {
+		t.Errorf("utilization peaked at %.2f, above the admission cap", hi)
+	}
+	if h.AvgCPUUtil() <= 0 || h.AvgCPUUtil() > 1 {
+		t.Errorf("cpu utilization = %v", h.AvgCPUUtil())
+	}
+}
+
+func TestConsolidationConstraintsHold(t *testing.T) {
+	eng, mem, h := newHost(t, false, 3)
+	_ = eng
+	// At every sample, VM memory stayed under the cap.
+	cap := DefaultConfig().AdmitCapFrac
+	for _, s := range h.Samples() {
+		if s.UsedFrac > cap+0.01 {
+			t.Fatalf("memory used %.2f exceeded admission cap %.2f", s.UsedFrac, cap)
+		}
+	}
+	// vCPU consolidation bound.
+	total := 0
+	for _, vm := range h.running {
+		total += vm.Type.VCPUs
+	}
+	if float64(total) > 2.0*16 {
+		t.Errorf("vCPUs in use = %d, exceeds 2x16", total)
+	}
+	// Memory accounting consistent with the kernel.
+	if mem.Meminfo().UsedBytes < 0 {
+		t.Error("negative used memory")
+	}
+}
+
+func TestVMsComeAndGo(t *testing.T) {
+	_, _, h := newHost(t, false, 6)
+	if h.RunningVMs() == 0 {
+		t.Error("no VMs running after 6h")
+	}
+	// Samples should show variation in the running count.
+	minR, maxR := 1<<30, 0
+	for _, s := range h.Samples() {
+		if s.Running < minR {
+			minR = s.Running
+		}
+		if s.Running > maxR {
+			maxR = s.Running
+		}
+	}
+	if maxR == minR {
+		t.Errorf("running VM count never changed (%d)", minR)
+	}
+}
+
+func TestKSMReducesUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long trace in -short mode")
+	}
+	_, _, with := newHost(t, true, 8)
+	saved := with.Samples()[len(with.Samples())-1].KSMSaved
+	if saved <= 0 {
+		t.Fatal("KSM saved nothing")
+	}
+	// Paper: KSM reduces used capacity by ~24% on average (4-90%). Check
+	// savings are a substantial fraction of used memory.
+	used := with.mem.Meminfo().UsedBytes
+	frac := float64(saved) / float64(used+saved)
+	if frac < 0.08 || frac > 0.6 {
+		t.Errorf("KSM savings fraction = %.2f, want ~0.15-0.35", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, _, a := newHost(t, false, 2)
+	_, _, b := newHost(t, false, 2)
+	sa, sb := a.Samples(), b.Samples()
+	if len(sa) != len(sb) {
+		t.Fatalf("sample counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, _ := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: page2M})
+	bad := []Config{
+		{},
+		func() Config { c := DefaultConfig(); c.AdmitCapFrac = 1.5; return c }(),
+		func() Config { c := DefaultConfig(); c.ScheduleEvery = 0; return c }(),
+		func() Config { c := DefaultConfig(); c.Images = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := New(eng, mem, nil, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStopHaltsScheduling(t *testing.T) {
+	eng, _, h := newHost(t, false, 1)
+	h.Stop()
+	// In-flight VM ramps may add a few samples right after Stop; once
+	// they settle, no scheduler pass ever runs again, so the sample log
+	// freezes and no new VMs appear.
+	eng.RunUntil(1*sim.Hour + 30*sim.Minute)
+	settled := len(h.Samples())
+	running := h.RunningVMs()
+	eng.RunUntil(4 * sim.Hour)
+	if got := len(h.Samples()); got != settled {
+		t.Errorf("samples grew long after Stop: %d -> %d", settled, got)
+	}
+	if h.RunningVMs() > running {
+		t.Errorf("new VMs admitted after Stop: %d -> %d", running, h.RunningVMs())
+	}
+}
+
+func TestBacklogAdmitsWhenCapacityFrees(t *testing.T) {
+	// With a tiny host, arrivals queue and are admitted as VMs expire:
+	// over time the running set must turn over without violating caps.
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 32 << 30, PageBytes: page2M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HostMemBytes = 32 << 30
+	cfg.HostCores = 4
+	cfg.ArrivalsPerHourMean = 120
+	h, err := New(eng, mem, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	eng.RunUntil(6 * sim.Hour)
+	for _, s := range h.Samples() {
+		if s.UsedFrac > cfg.AdmitCapFrac+0.01 {
+			t.Fatalf("memory cap violated: %.3f", s.UsedFrac)
+		}
+	}
+	if h.RunningVMs() == 0 {
+		t.Error("small host starved completely")
+	}
+}

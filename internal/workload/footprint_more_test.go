@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"greendimm/internal/kernel"
+	"greendimm/internal/sim"
+)
+
+// TestFootprintDriverSurvivesPressure: when the target footprint exceeds
+// available memory mid-curve, the driver takes what it can and keeps
+// playing the curve rather than wedging.
+func TestFootprintDriverSurvivesPressure(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 256 << 20, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A competitor pins most of memory.
+	if _, err := mem.AllocPages(200<<20/4096, true, 9); err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile{
+		Name: "greedy", MPKI: 1, FootprintMB: 512, IPC: 1, MLP: 1,
+		Phases: []PhasePoint{{Progress: 0, Frac: 0.1}, {Progress: 0.5, Frac: 1}, {Progress: 1, Frac: 0.1}},
+	}
+	fd, err := NewFootprintDriver(eng, mem, prof, 10, sim.Second, 20*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Start()
+	eng.RunUntil(2 * sim.Second)
+	if !fd.Done() {
+		t.Fatal("driver wedged under pressure")
+	}
+	// The owner holds something bounded by what fits.
+	if got := mem.OwnerPageCount(10); got <= 0 || got > (56<<20)/4096 {
+		t.Errorf("owner pages = %d", got)
+	}
+	// Curve tail shrinks back toward 10% of peak.
+	if got := mem.OwnerPageCount(10) * 4096; got > 64<<20 {
+		t.Errorf("end footprint = %dMB, want near 51MB", got>>20)
+	}
+	fd.Teardown()
+}
+
+// TestFootprintDriverHalfRetry: when a grow step cannot be satisfied in
+// full, the driver's half-sized fallback still makes progress.
+func TestFootprintDriverHalfRetry(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 64 << 20, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave ~24MB free.
+	if _, err := mem.AllocPages(40<<20/4096, true, 9); err != nil {
+		t.Fatal(err)
+	}
+	// The profile wants 48MB immediately: more than fits.
+	prof := Profile{Name: "big", MPKI: 1, FootprintMB: 48, IPC: 1, MLP: 1}
+	fd, err := NewFootprintDriver(eng, mem, prof, 11, sim.Second, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd.Start()
+	eng.RunUntil(200 * sim.Millisecond)
+	if got := mem.OwnerPageCount(11); got == 0 {
+		t.Error("half-retry made no progress at all")
+	}
+}

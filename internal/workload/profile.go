@@ -1,0 +1,207 @@
+// Package workload models the applications the paper evaluates — SPEC
+// CPU2006/2017 programs, HiBench and CloudSuite services — as memory-access
+// generators with calibrated intensity (MPKI), footprint dynamics, row
+// locality and memory-level parallelism, plus a closed-loop core model that
+// converts memory latency into execution time.
+//
+// Instruction semantics are irrelevant to every figure in the paper; what
+// matters is how much memory an application touches, how its footprint
+// moves over time (that drives on/off-lining), and how latency-sensitive it
+// is (that drives the interleaving speedups of Fig. 3a).
+package workload
+
+// Profile characterizes one application. Numbers are calibrated against
+// published SPEC characterization studies; footprints are the paper-era
+// reference-input footprints.
+type Profile struct {
+	Name string
+	// MPKI is last-level-cache misses per kilo-instruction reaching DRAM.
+	MPKI float64
+	// FootprintMB is the peak resident set.
+	FootprintMB int64
+	// Phases describes footprint over run progress (fraction done ->
+	// fraction of peak footprint). Linear interpolation between points;
+	// must start at progress 0. An empty slice means a flat footprint.
+	Phases []PhasePoint
+	// ReadFrac is the fraction of DRAM accesses that are reads.
+	ReadFrac float64
+	// SeqProb is the probability an access continues the current stream
+	// (next cache line) rather than jumping — the row-buffer-locality
+	// knob.
+	SeqProb float64
+	// MLP is the maximum overlapping DRAM accesses the core sustains.
+	MLP int
+	// IPC is the non-memory-stall instructions per cycle.
+	IPC float64
+	// LatencyCritical marks request/response services whose tail latency
+	// Fig. 11's discussion tracks.
+	LatencyCritical bool
+}
+
+// PhasePoint anchors the footprint curve.
+type PhasePoint struct {
+	Progress float64 // fraction of instructions retired, in [0,1]
+	Frac     float64 // fraction of FootprintMB resident
+}
+
+// sawtooth builds an n-cycle footprint oscillation between lo and hi
+// fractions — the gcc-style per-compilation-unit allocate/free pattern
+// that drives repeated on/off-lining (paper Table 2).
+func sawtooth(n int, lo, hi float64) []PhasePoint {
+	pts := make([]PhasePoint, 0, 2*n+1)
+	for i := 0; i < n; i++ {
+		pts = append(pts,
+			PhasePoint{Progress: float64(i) / float64(n), Frac: lo},
+			PhasePoint{Progress: (float64(i) + 0.5) / float64(n), Frac: hi},
+		)
+	}
+	return append(pts, PhasePoint{Progress: 1, Frac: lo})
+}
+
+// ramp grows from lo to hi once and stays.
+func ramp(at, lo, hi float64) []PhasePoint {
+	return []PhasePoint{{0, lo}, {at, hi}, {1, hi}}
+}
+
+// SPEC2006 returns the paper's SPEC CPU2006 set (§5.1/§6 apps).
+func SPEC2006() []Profile {
+	return []Profile{
+		// 429.mcf: pointer chasing over a ~1.7GB graph; very high MPKI,
+		// low locality. The graph is built during the first quarter of
+		// the run, then the footprint is stable.
+		{Name: "429.mcf", MPKI: 68, FootprintMB: 1700,
+			Phases: ramp(0.25, 0.5, 1.0), ReadFrac: 0.75,
+			SeqProb: 0.25, MLP: 6, IPC: 0.9},
+		// 403.gcc: moderate MPKI; footprint oscillates per input file —
+		// the app with the most on/off-lining churn (Table 2: 47 events).
+		{Name: "403.gcc", MPKI: 12, FootprintMB: 900,
+			Phases: sawtooth(8, 0.45, 1.0), ReadFrac: 0.7, SeqProb: 0.55,
+			MLP: 4, IPC: 1.4},
+		// 450.soplex: LP solver, phase-heavy footprint.
+		{Name: "450.soplex", MPKI: 28, FootprintMB: 800,
+			Phases: sawtooth(6, 0.35, 1.0), ReadFrac: 0.8, SeqProb: 0.5,
+			MLP: 5, IPC: 1.1},
+		// 470.lbm: streaming stencil; high bandwidth, high locality;
+		// working buffers cycle per simulation phase.
+		{Name: "470.lbm", MPKI: 45, FootprintMB: 420,
+			Phases: sawtooth(8, 0.5, 1.0), ReadFrac: 0.55, SeqProb: 0.9,
+			MLP: 8, IPC: 1.0},
+		// 462.libquantum: tiny footprint (the paper's 64MB example),
+		// streaming, very high MPKI.
+		{Name: "462.libquantum", MPKI: 52, FootprintMB: 64,
+			Phases: ramp(0.02, 0.5, 1.0), ReadFrac: 0.85, SeqProb: 0.95,
+			MLP: 8, IPC: 1.1},
+		// 453.povray: compute-bound ray tracer; negligible DRAM traffic.
+		{Name: "453.povray", MPKI: 0.3, FootprintMB: 450,
+			Phases: sawtooth(14, 0.45, 1.0), ReadFrac: 0.7, SeqProb: 0.6,
+			MLP: 2, IPC: 2.2},
+	}
+}
+
+// SPEC2006Extra returns additional CPU2006 programs beyond the paper's
+// evaluation set — available to library users for their own studies.
+func SPEC2006Extra() []Profile {
+	return []Profile{
+		// 401.bzip2: block-sorting compressor; moderate locality.
+		{Name: "401.bzip2", MPKI: 4, FootprintMB: 850,
+			Phases: sawtooth(6, 0.5, 1.0), ReadFrac: 0.7, SeqProb: 0.65,
+			MLP: 3, IPC: 1.6},
+		// 471.omnetpp: discrete-event simulation; pointer-heavy heap.
+		{Name: "471.omnetpp", MPKI: 21, FootprintMB: 170, ReadFrac: 0.75,
+			SeqProb: 0.3, MLP: 4, IPC: 1.0},
+		// 483.xalancbmk: XML transformation; DOM churn.
+		{Name: "483.xalancbmk", MPKI: 18, FootprintMB: 430,
+			Phases: sawtooth(5, 0.6, 1.0), ReadFrac: 0.8, SeqProb: 0.4,
+			MLP: 4, IPC: 1.1},
+		// 433.milc: lattice QCD; strided array sweeps.
+		{Name: "433.milc", MPKI: 26, FootprintMB: 680,
+			Phases: ramp(0.05, 0.6, 1.0), ReadFrac: 0.7, SeqProb: 0.8,
+			MLP: 6, IPC: 1.0},
+		// 410.bwaves: blast-wave CFD; bandwidth-bound.
+		{Name: "410.bwaves", MPKI: 24, FootprintMB: 880,
+			Phases: ramp(0.05, 0.7, 1.0), ReadFrac: 0.6, SeqProb: 0.85,
+			MLP: 8, IPC: 1.0},
+		// 459.GemsFDTD: finite-difference time domain; large stencils.
+		{Name: "459.GemsFDTD", MPKI: 25, FootprintMB: 840,
+			Phases: ramp(0.08, 0.6, 1.0), ReadFrac: 0.65, SeqProb: 0.8,
+			MLP: 6, IPC: 0.9},
+	}
+}
+
+// SPEC2017 returns the CPU2017 additions the paper plots in Figs. 9-11.
+func SPEC2017() []Profile {
+	return []Profile{
+		{Name: "500.perlbench", MPKI: 1.5, FootprintMB: 700,
+			Phases: sawtooth(6, 0.4, 1.0), ReadFrac: 0.7, SeqProb: 0.6,
+			MLP: 3, IPC: 2.0},
+		{Name: "502.gcc", MPKI: 10, FootprintMB: 1300,
+			Phases: sawtooth(10, 0.2, 1.0), ReadFrac: 0.7, SeqProb: 0.55,
+			MLP: 4, IPC: 1.4},
+		{Name: "505.mcf", MPKI: 55, FootprintMB: 3500,
+			Phases: ramp(0.25, 0.5, 1.0), ReadFrac: 0.75,
+			SeqProb: 0.3, MLP: 6, IPC: 0.9},
+		{Name: "519.lbm", MPKI: 50, FootprintMB: 410,
+			Phases: ramp(0.05, 0.2, 1.0), ReadFrac: 0.55, SeqProb: 0.9,
+			MLP: 8, IPC: 1.0},
+	}
+}
+
+// Datacenter returns the HiBench / CloudSuite services (§6.1).
+func Datacenter() []Profile {
+	return []Profile{
+		// HiBench ML linear regression: scan-heavy Spark job.
+		{Name: "ml_linear", MPKI: 30, FootprintMB: 6000,
+			Phases: ramp(0.1, 0.3, 1.0), ReadFrac: 0.8, SeqProb: 0.85,
+			MLP: 8, IPC: 1.2},
+		// HiBench wordcount: MapReduce with bursty spills.
+		{Name: "wordcount", MPKI: 14, FootprintMB: 4000,
+			Phases: sawtooth(7, 0.4, 1.0), ReadFrac: 0.75, SeqProb: 0.7,
+			MLP: 5, IPC: 1.5},
+		// CloudSuite data-caching (memcached): constant resident set,
+		// random small reads, latency-critical.
+		{Name: "data-caching", MPKI: 9, FootprintMB: 8000, ReadFrac: 0.9,
+			SeqProb: 0.1, MLP: 4, IPC: 1.3, LatencyCritical: true},
+		// CloudSuite data-serving (Cassandra).
+		{Name: "data-serving", MPKI: 11, FootprintMB: 10000, ReadFrac: 0.8,
+			SeqProb: 0.3, MLP: 4, IPC: 1.2, LatencyCritical: true},
+		// CloudSuite web-serving (nginx+php).
+		{Name: "web-serving", MPKI: 4, FootprintMB: 3000, ReadFrac: 0.8,
+			SeqProb: 0.4, MLP: 3, IPC: 1.8, LatencyCritical: true},
+	}
+}
+
+// ByName finds a profile across all suites.
+func ByName(name string) (Profile, bool) {
+	for _, set := range [][]Profile{SPEC2006(), SPEC2006Extra(), SPEC2017(), Datacenter()} {
+		for _, p := range set {
+			if p.Name == name {
+				return p, true
+			}
+		}
+	}
+	return Profile{}, false
+}
+
+// FootprintAt evaluates the footprint curve at a progress in [0,1],
+// returning resident bytes.
+func (p Profile) FootprintAt(progress float64) int64 {
+	peak := p.FootprintMB << 20
+	if len(p.Phases) == 0 {
+		return peak
+	}
+	if progress <= p.Phases[0].Progress {
+		return int64(float64(peak) * p.Phases[0].Frac)
+	}
+	for i := 1; i < len(p.Phases); i++ {
+		a, b := p.Phases[i-1], p.Phases[i]
+		if progress <= b.Progress {
+			t := (progress - a.Progress) / (b.Progress - a.Progress)
+			return int64(float64(peak) * (a.Frac + t*(b.Frac-a.Frac)))
+		}
+	}
+	return int64(float64(peak) * p.Phases[len(p.Phases)-1].Frac)
+}
+
+// HighMPKI reports whether the app is memory-intensive (the Fig. 3
+// selection criterion).
+func (p Profile) HighMPKI() bool { return p.MPKI >= 20 }

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+
+	"greendimm/internal/kernel"
+	"greendimm/internal/metrics"
+	"greendimm/internal/sim"
+)
+
+// Service models a latency-critical request/response application
+// (CloudSuite data-caching / data-serving / web-serving): operations
+// arrive open-loop at a Poisson rate and are served FIFO by one logical
+// server whose per-operation work is a little compute plus a chain of
+// dependent DRAM accesses. Response time = queueing + service, so any
+// CPU stall the GreenDIMM daemon injects shows up in the tail — exactly
+// the effect §6.2's tail-latency discussion is about.
+type Service struct {
+	eng *sim.Engine
+	mem *kernel.Mem
+	sub Submitter
+	cfg ServiceConfig
+	rng *sim.RNG
+
+	queue      []sim.Time // arrival times of queued ops
+	busy       bool
+	stallUntil sim.Time
+
+	served    int64
+	arrived   int64
+	latencies metrics.Distribution // response times, microseconds
+	warmupCut sim.Time             // samples before this are dropped
+
+	streamPage int64
+}
+
+// ServiceConfig tunes the service.
+type ServiceConfig struct {
+	Profile Profile
+	Owner   uint32
+	// OpsPerSec is the Poisson arrival rate.
+	OpsPerSec float64
+	// AccessesPerOp is the dependent DRAM-access chain length per op.
+	AccessesPerOp int
+	// ComputePerOp is the non-memory service time per op.
+	ComputePerOp sim.Time
+	// Warmup discards response samples before this time.
+	Warmup sim.Time
+	Seed   int64
+}
+
+// NewService allocates the profile's footprint and returns a stopped
+// service; Start begins arrivals.
+func NewService(eng *sim.Engine, mem *kernel.Mem, sub Submitter, cfg ServiceConfig) (*Service, error) {
+	switch {
+	case cfg.OpsPerSec <= 0:
+		return nil, fmt.Errorf("workload: non-positive op rate")
+	case cfg.AccessesPerOp <= 0:
+		return nil, fmt.Errorf("workload: non-positive accesses per op")
+	case cfg.ComputePerOp < 0:
+		return nil, fmt.Errorf("workload: negative compute per op")
+	}
+	pages := (cfg.Profile.FootprintAt(0) + mem.PageBytes() - 1) / mem.PageBytes()
+	if pages == 0 {
+		pages = 1
+	}
+	if _, err := mem.AllocPages(pages, true, cfg.Owner); err != nil {
+		return nil, fmt.Errorf("workload: service footprint: %w", err)
+	}
+	return &Service{
+		eng: eng, mem: mem, sub: sub, cfg: cfg,
+		rng:       sim.NewRNG(cfg.Seed ^ 0x737663),
+		warmupCut: eng.Now() + cfg.Warmup,
+	}, nil
+}
+
+// Start begins Poisson arrivals; they continue until Stop.
+func (s *Service) Start() { s.scheduleArrival() }
+
+func (s *Service) scheduleArrival() {
+	gap := sim.Time(s.rng.Exp(1.0/s.cfg.OpsPerSec) * float64(sim.Second))
+	s.eng.After(gap, func() {
+		s.arrived++
+		s.queue = append(s.queue, s.eng.Now())
+		s.maybeServe()
+		s.scheduleArrival()
+	})
+}
+
+// Stall blocks the server for d (daemon-induced CPU theft).
+func (s *Service) Stall(d sim.Time) {
+	now := s.eng.Now()
+	if s.stallUntil < now {
+		s.stallUntil = now
+	}
+	s.stallUntil += d
+}
+
+// maybeServe starts the next op if the server is free.
+func (s *Service) maybeServe() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	start := s.eng.Now()
+	if s.stallUntil > start {
+		// Server is stalled; retry when the stall drains.
+		s.eng.At(s.stallUntil, s.maybeServe)
+		return
+	}
+	s.busy = true
+	arrival := s.queue[0]
+	s.queue = s.queue[1:]
+	s.runOp(arrival, s.cfg.AccessesPerOp)
+}
+
+// runOp issues the op's dependent access chain, then finishes after the
+// compute time.
+func (s *Service) runOp(arrival sim.Time, remaining int) {
+	if remaining == 0 {
+		s.eng.After(s.cfg.ComputePerOp, func() {
+			s.finish(arrival)
+		})
+		return
+	}
+	pa, ok := s.nextAddr()
+	if !ok {
+		// Footprint gone (shouldn't happen for services); drop the op.
+		s.finish(arrival)
+		return
+	}
+	err := s.sub.Submit(pa, s.rng.Bool(1-s.cfg.Profile.ReadFrac), func(sim.Time) {
+		s.runOp(arrival, remaining-1)
+	})
+	if err != nil {
+		s.eng.After(200*sim.Nanosecond, func() { s.runOp(arrival, remaining) })
+	}
+}
+
+func (s *Service) finish(arrival sim.Time) {
+	now := s.eng.Now()
+	if now >= s.warmupCut {
+		s.latencies.Add((now - arrival).Microseconds())
+	}
+	s.served++
+	s.busy = false
+	s.maybeServe()
+}
+
+// nextAddr picks the op's next line: mostly random (hash-table lookups).
+func (s *Service) nextAddr() (uint64, bool) {
+	n := s.mem.OwnerPageCount(s.cfg.Owner)
+	if n == 0 {
+		return 0, false
+	}
+	if !s.rng.Bool(s.cfg.Profile.SeqProb) || s.streamPage >= n {
+		s.streamPage = s.rng.Int63n(n)
+	}
+	pfn := s.mem.OwnerPage(s.cfg.Owner, s.streamPage)
+	off := s.rng.Int63n(s.mem.PageBytes()/64) * 64
+	return uint64(pfn)*uint64(s.mem.PageBytes()) + uint64(off), true
+}
+
+// Served reports completed operations.
+func (s *Service) Served() int64 { return s.served }
+
+// Latency exposes the response-time distribution (microseconds), warmup
+// excluded.
+func (s *Service) Latency() *metrics.Distribution { return &s.latencies }
+
+// Utilization estimates offered load: arrival rate x mean service demand.
+func (s *Service) Utilization() float64 {
+	if s.latencies.N() == 0 {
+		return 0
+	}
+	return float64(s.served) / float64(s.arrived)
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"greendimm/internal/sim"
+)
+
+func newService(t *testing.T, cfg ServiceConfig) (*sim.Engine, *Service) {
+	t.Helper()
+	eng, mem, ctrl := testRig(t, true)
+	if cfg.Profile.Name == "" {
+		p, _ := ByName("data-caching")
+		p.FootprintMB = 128
+		cfg.Profile = p
+	}
+	if cfg.Owner == 0 {
+		cfg.Owner = 30
+	}
+	svc, err := NewService(eng, mem, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, svc
+}
+
+func TestServiceServesAndMeasures(t *testing.T) {
+	eng, svc := newService(t, ServiceConfig{
+		OpsPerSec: 10000, AccessesPerOp: 4, ComputePerOp: 5 * sim.Microsecond,
+		Warmup: 10 * sim.Millisecond, Seed: 3,
+	})
+	svc.Start()
+	eng.RunUntil(100 * sim.Millisecond)
+	if svc.Served() < 700 {
+		t.Fatalf("served %d ops in 100ms at 10k ops/s", svc.Served())
+	}
+	d := svc.Latency()
+	if d.N() == 0 {
+		t.Fatal("no latency samples after warmup")
+	}
+	// Minimum possible latency: compute + 4 dependent accesses.
+	minUs := (5 * sim.Microsecond).Microseconds()
+	if d.Percentile(0) < minUs {
+		t.Errorf("min latency %vus below compute floor %vus", d.Percentile(0), minUs)
+	}
+	if d.Percentile(99) < d.Percentile(50) {
+		t.Error("p99 below p50")
+	}
+}
+
+func TestServiceWarmupExcluded(t *testing.T) {
+	eng, svc := newService(t, ServiceConfig{
+		OpsPerSec: 10000, AccessesPerOp: 2, ComputePerOp: sim.Microsecond,
+		Warmup: 50 * sim.Millisecond, Seed: 3,
+	})
+	svc.Start()
+	eng.RunUntil(40 * sim.Millisecond)
+	if svc.Latency().N() != 0 {
+		t.Errorf("%d samples recorded during warmup", svc.Latency().N())
+	}
+	eng.RunUntil(80 * sim.Millisecond)
+	if svc.Latency().N() == 0 {
+		t.Error("no samples after warmup")
+	}
+}
+
+func TestServiceStallInflatesTail(t *testing.T) {
+	run := func(stall bool) float64 {
+		eng, svc := newService(t, ServiceConfig{
+			OpsPerSec: 20000, AccessesPerOp: 4, ComputePerOp: 10 * sim.Microsecond,
+			Warmup: 5 * sim.Millisecond, Seed: 3,
+		})
+		svc.Start()
+		if stall {
+			// A 2ms stall every 20ms: the queue backs up behind each.
+			var inject func()
+			inject = func() {
+				svc.Stall(2 * sim.Millisecond)
+				if eng.Now() < 90*sim.Millisecond {
+					eng.AfterDaemon(20*sim.Millisecond, inject)
+				}
+			}
+			eng.AtDaemon(10*sim.Millisecond, inject)
+		}
+		eng.RunUntil(100 * sim.Millisecond)
+		return svc.Latency().Percentile(99)
+	}
+	base, stalled := run(false), run(true)
+	if stalled < base*3 {
+		t.Errorf("p99 with stalls = %vus, base %vus: stalls should dominate the tail", stalled, base)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	eng, mem, ctrl := testRig(t, true)
+	_ = eng
+	p, _ := ByName("data-caching")
+	p.FootprintMB = 64
+	bad := []ServiceConfig{
+		{Profile: p, OpsPerSec: 0, AccessesPerOp: 1},
+		{Profile: p, OpsPerSec: 100, AccessesPerOp: 0},
+		{Profile: p, OpsPerSec: 100, AccessesPerOp: 1, ComputePerOp: -1},
+	}
+	for i, cfg := range bad {
+		cfg.Owner = uint32(40 + i)
+		if _, err := NewService(eng, mem, ctrl, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package workload
+
+import (
+	"testing"
+
+	"greendimm/internal/dram"
+	"greendimm/internal/kernel"
+	"greendimm/internal/mc"
+	"greendimm/internal/sim"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	suites := map[string][]Profile{
+		"spec2006": SPEC2006(), "spec2006x": SPEC2006Extra(),
+		"spec2017": SPEC2017(), "datacenter": Datacenter(),
+	}
+	for suite, profs := range suites {
+		if len(profs) == 0 {
+			t.Fatalf("%s empty", suite)
+		}
+		for _, p := range profs {
+			if p.MPKI <= 0 || p.FootprintMB <= 0 || p.IPC <= 0 || p.MLP <= 0 {
+				t.Errorf("%s/%s: bad numbers %+v", suite, p.Name, p)
+			}
+			if p.ReadFrac < 0 || p.ReadFrac > 1 || p.SeqProb < 0 || p.SeqProb > 1 {
+				t.Errorf("%s/%s: bad fractions", suite, p.Name)
+			}
+			for _, pt := range p.Phases {
+				if pt.Progress < 0 || pt.Progress > 1 || pt.Frac < 0 || pt.Frac > 1 {
+					t.Errorf("%s/%s: bad phase point %+v", suite, p.Name, pt)
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("429.mcf")
+	if !ok || p.Name != "429.mcf" {
+		t.Error("429.mcf not found")
+	}
+	if _, ok := ByName("no-such-app"); ok {
+		t.Error("bogus app found")
+	}
+}
+
+func TestFootprintCurve(t *testing.T) {
+	p, _ := ByName("462.libquantum")
+	// Paper: libquantum's footprint is ~64MB.
+	if got := p.FootprintAt(1); got != 64<<20 {
+		t.Errorf("libquantum final footprint = %d, want 64MB", got)
+	}
+	if got := p.FootprintAt(0); got >= 64<<20 {
+		t.Errorf("libquantum initial footprint = %d, want < peak", got)
+	}
+	// mcf ramps once then stays flat.
+	mcf, _ := ByName("429.mcf")
+	if mcf.FootprintAt(0) >= mcf.FootprintAt(0.5) {
+		t.Error("mcf footprint should grow during the build phase")
+	}
+	if mcf.FootprintAt(0.5) != mcf.FootprintAt(1) {
+		t.Error("mcf footprint should be flat after the build phase")
+	}
+	// data-caching is genuinely flat.
+	dcache, _ := ByName("data-caching")
+	if dcache.FootprintAt(0) != dcache.FootprintAt(1) {
+		t.Error("data-caching footprint should be flat")
+	}
+	// Sawtooth oscillates.
+	gcc, _ := ByName("403.gcc")
+	mid := gcc.FootprintAt(1.0 / 24) // first peak of 12-cycle sawtooth
+	lo := gcc.FootprintAt(0)
+	if mid <= lo {
+		t.Errorf("gcc sawtooth not oscillating: lo=%d mid=%d", lo, mid)
+	}
+}
+
+func TestHighMPKISelection(t *testing.T) {
+	// The Fig. 3 apps (high MPKI) must include mcf, lbm, libquantum but
+	// not povray.
+	names := map[string]bool{}
+	for _, p := range SPEC2006() {
+		if p.HighMPKI() {
+			names[p.Name] = true
+		}
+	}
+	for _, want := range []string{"429.mcf", "470.lbm", "462.libquantum"} {
+		if !names[want] {
+			t.Errorf("%s should be high-MPKI", want)
+		}
+	}
+	if names["453.povray"] {
+		t.Error("povray is not memory-intensive")
+	}
+}
+
+// testRig builds engine + 1GB kernel memory + controller.
+func testRig(t *testing.T, interleaved bool) (*sim.Engine, *kernel.Mem, *mc.Controller) {
+	t.Helper()
+	eng := sim.NewEngine()
+	// A small org so tests run fast: 1 channel... use the 64GB org but
+	// only allocate inside the first 1GB of kernel-visible memory.
+	mem, err := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := mc.New(eng, mc.Config{
+		Org: dram.Org64GB(), Timing: dram.DDR4_2133(), Interleaved: interleaved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, mem, ctrl
+}
+
+func runCore(t *testing.T, name string, interleaved bool, accesses int64) (*Core, *mc.Controller) {
+	t.Helper()
+	eng, mem, ctrl := testRig(t, interleaved)
+	prof, ok := ByName(name)
+	if !ok {
+		t.Fatal("unknown profile")
+	}
+	// Cap the footprint to fit the 1GB test memory.
+	if prof.FootprintMB > 256 {
+		prof.FootprintMB = 256
+	}
+	core, err := NewCore(eng, mem, ctrl, CoreConfig{
+		Profile: prof, Owner: 10, Accesses: accesses, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Start()
+	eng.Run()
+	if !core.Done() {
+		t.Fatalf("core did not finish: %d issued", core.issued)
+	}
+	ctrl.Finalize()
+	return core, ctrl
+}
+
+func TestCoreCompletesAndCounts(t *testing.T) {
+	core, ctrl := runCore(t, "429.mcf", true, 5000)
+	st := ctrl.Stats()
+	if st.Reads+st.Writes != 5000 {
+		t.Errorf("controller saw %d accesses, want 5000", st.Reads+st.Writes)
+	}
+	// mcf is 75% reads.
+	frac := float64(st.Reads) / float64(st.Reads+st.Writes)
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("read fraction = %.2f, want ~0.75", frac)
+	}
+	if core.Runtime() <= 0 || core.AvgLatency() <= 0 {
+		t.Error("runtime/latency not recorded")
+	}
+}
+
+// runCopies runs n copies of an app (the paper's multiprogrammed setup)
+// and returns the time for all copies to finish.
+func runCopies(t *testing.T, name string, n int, interleaved bool, accesses int64) sim.Time {
+	t.Helper()
+	eng, mem, ctrl := testRig(t, interleaved)
+	prof, ok := ByName(name)
+	if !ok {
+		t.Fatal("unknown profile")
+	}
+	prof.FootprintMB = 64
+	remaining := n
+	for i := 0; i < n; i++ {
+		core, err := NewCore(eng, mem, ctrl, CoreConfig{
+			Profile: prof, Owner: uint32(10 + i), Accesses: accesses, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.OnDone(func() { remaining-- })
+		core.Start()
+	}
+	eng.Run()
+	if remaining != 0 {
+		t.Fatalf("%d copies unfinished", remaining)
+	}
+	ctrl.Finalize()
+	return eng.Now()
+}
+
+func TestMemoryIntensiveAppsGainFromInterleaving(t *testing.T) {
+	// Fig. 3a: with multiple memory-hungry copies (the paper runs 16),
+	// interleaving spreads the contiguous low-address footprints across
+	// all channels instead of stacking them in the first rank.
+	ti := runCopies(t, "470.lbm", 8, true, 8000)
+	tc := runCopies(t, "470.lbm", 8, false, 8000)
+	speedup := float64(tc) / float64(ti)
+	if speedup < 1.8 {
+		t.Errorf("lbm x8 interleaving speedup = %.2fx, want > 1.8x", speedup)
+	}
+	// Compute-bound povray barely notices.
+	pi := runCopies(t, "453.povray", 8, true, 1000)
+	pc := runCopies(t, "453.povray", 8, false, 1000)
+	povSpeedup := float64(pc) / float64(pi)
+	if povSpeedup > 1.2 {
+		t.Errorf("povray x8 interleaving speedup = %.2fx, want ~1x", povSpeedup)
+	}
+	if speedup < povSpeedup {
+		t.Error("memory-intensive app gained less than compute-bound app")
+	}
+}
+
+func TestSeqProbControlsRowHits(t *testing.T) {
+	lbm, _ := runCore(t, "470.lbm", true, 20000) // SeqProb 0.9
+	mcf, _ := runCore(t, "429.mcf", true, 20000) // SeqProb 0.25
+	_ = lbm
+	_ = mcf
+	// Row-hit rates must order by SeqProb.
+	hitRate := func(c *mc.Controller) float64 {
+		s := c.Stats()
+		return float64(s.RowHits) / float64(s.RowHits+s.RowMisses+s.RowConflicts)
+	}
+	_, lbmCtrl := runCore(t, "470.lbm", true, 20000)
+	_, mcfCtrl := runCore(t, "429.mcf", true, 20000)
+	if hitRate(lbmCtrl) <= hitRate(mcfCtrl) {
+		t.Errorf("lbm hit rate %.2f not above mcf %.2f", hitRate(lbmCtrl), hitRate(mcfCtrl))
+	}
+}
+
+func TestStallDelaysCompletion(t *testing.T) {
+	eng, mem, ctrl := testRig(t, true)
+	prof, _ := ByName("453.povray")
+	prof.FootprintMB = 64
+	core, err := NewCore(eng, mem, ctrl, CoreConfig{
+		Profile: prof, Owner: 10, Accesses: 1000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Start()
+	// Inject a 5ms stall early on.
+	eng.At(10*sim.Microsecond, func() { core.Stall(5 * sim.Millisecond) })
+	eng.Run()
+	if !core.Done() {
+		t.Fatal("core did not finish")
+	}
+	if core.StallTime() != 5*sim.Millisecond {
+		t.Errorf("stall time = %v", core.StallTime())
+	}
+	if core.Runtime() < 5*sim.Millisecond {
+		t.Errorf("runtime %v did not absorb the stall", core.Runtime())
+	}
+}
+
+func TestFootprintDriverPlaysCurve(t *testing.T) {
+	eng := sim.NewEngine()
+	mem, err := kernel.New(kernel.Config{TotalBytes: 1 << 30, PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Profile{
+		Name: "synthetic", MPKI: 10, FootprintMB: 256, IPC: 1, MLP: 1,
+		Phases: []PhasePoint{{0, 0.25}, {0.5, 1.0}, {1, 0.25}},
+	}
+	fd, err := NewFootprintDriver(eng, mem, prof, 20, sim.Second, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak, atEnd int64
+	fd.Start()
+	eng.AtDaemon(500*sim.Millisecond, func() { peak = mem.OwnerPageCount(20) })
+	done := false
+	fd.OnDone(func() { done = true; atEnd = mem.OwnerPageCount(20) })
+	eng.RunUntil(2 * sim.Second)
+	if !done || !fd.Done() {
+		t.Fatal("driver did not finish")
+	}
+	pageSz := mem.PageBytes()
+	if peak*pageSz < 240<<20 {
+		t.Errorf("peak = %dMB, want ~256MB", peak*pageSz>>20)
+	}
+	if atEnd*pageSz > 80<<20 {
+		t.Errorf("end = %dMB, want ~64MB", atEnd*pageSz>>20)
+	}
+	fd.Teardown()
+	if mem.OwnerPageCount(20) != 0 {
+		t.Error("teardown incomplete")
+	}
+}
+
+func TestCoreValidation(t *testing.T) {
+	eng, mem, ctrl := testRig(t, true)
+	if _, err := NewCore(eng, mem, ctrl, CoreConfig{Profile: Profile{}, Accesses: 10}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	prof, _ := ByName("429.mcf")
+	if _, err := NewCore(eng, mem, ctrl, CoreConfig{Profile: prof, Accesses: 0}); err == nil {
+		t.Error("zero accesses accepted")
+	}
+	// Footprint larger than memory fails cleanly.
+	big := prof
+	big.FootprintMB = 4096
+	if _, err := NewCore(eng, mem, ctrl, CoreConfig{Profile: big, Owner: 3, Accesses: 10}); err == nil {
+		t.Error("oversized footprint accepted")
+	}
+	if _, err := NewFootprintDriver(eng, mem, prof, 1, 0, sim.Second); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// TestEventCountScalesLinearly guards against pump-timer chain
+// accumulation (a past bug made engine events quadratic in the access
+// budget for compute-bound profiles, hanging full-scale runs).
+func TestEventCountScalesLinearly(t *testing.T) {
+	run := func(accesses int64) int {
+		eng, mem, ctrl := testRig(t, true)
+		prof, _ := ByName("453.povray") // compute-bound: the worst case
+		prof.FootprintMB = 64
+		remaining := 4
+		for i := 0; i < 4; i++ {
+			core, err := NewCore(eng, mem, ctrl, CoreConfig{
+				Profile: prof, Owner: uint32(10 + i), Accesses: accesses, Seed: int64(i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			core.OnDone(func() { remaining-- })
+			core.Start()
+		}
+		n := eng.Run()
+		if remaining != 0 {
+			t.Fatal("cores unfinished")
+		}
+		return n
+	}
+	small := run(1000)
+	big := run(4000)
+	ratio := float64(big) / float64(small)
+	if ratio > 6 { // linear would be ~4; quadratic ~16
+		t.Fatalf("event count superlinear: %d -> %d (x%.1f for a 4x budget)", small, big, ratio)
+	}
+}
