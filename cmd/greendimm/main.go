@@ -20,132 +20,6 @@ import (
 	"greendimm/internal/report"
 )
 
-type runner func(exp.Options) ([]*report.Table, []report.Series, error)
-
-var experiments = map[string]runner{
-	"fig1": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig1(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		t := r.Table()
-		extra := report.NewTable("", "value")
-		extra.AddRow("ksm reduction %", r.KSMReductionFrac()*100)
-		return []*report.Table{t, extra}, r.Series(), nil
-	},
-	"fig2": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig2(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"fig3": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig3(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"fig6": blockSweep, "fig7": blockSweep, "tab2": blockSweep,
-	"fig8": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig8(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		extra := report.NewTable("", "value")
-		extra.AddRow("failure reduction %", r.ReductionFrac()*100)
-		return []*report.Table{r.Table(), extra}, nil, nil
-	},
-	"fig9": energyMatrix, "fig10": energyMatrix, "fig11": energyMatrix,
-	"fig12": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig12(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, r.Series(), nil
-	},
-	"fig13": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunFig13(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"tab1": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunTable1(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"tab3": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunTable3(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"ablations": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunAblations(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.NeighborRule, r.Thresholds, r.GroupSize, r.DPDResidual, r.IdlePolicy}, nil, nil
-	},
-	"tail": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunTailLatency(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		extra := report.NewTable("", "value")
-		extra.AddRow("worst p99 inflation %", r.MaxP99InflationPct())
-		return []*report.Table{r.Table(), extra}, nil, nil
-	},
-	"ramzzz": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunRAMZzz(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-	"hwcost": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunHWCost()
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Register, r.Area}, nil, nil
-	},
-	"swapthr": func(o exp.Options) ([]*report.Table, []report.Series, error) {
-		r, err := exp.RunSwapThreshold(o)
-		if err != nil {
-			return nil, nil, err
-		}
-		return []*report.Table{r.Table()}, nil, nil
-	},
-}
-
-func blockSweep(o exp.Options) ([]*report.Table, []report.Series, error) {
-	r, err := exp.RunBlockSizeSweep(o)
-	if err != nil {
-		return nil, nil, err
-	}
-	return []*report.Table{r.Fig6Table(), r.Fig7Table(), r.Table2()}, nil, nil
-}
-
-func energyMatrix(o exp.Options) ([]*report.Table, []report.Series, error) {
-	r, err := exp.RunEnergyMatrix(o)
-	if err != nil {
-		return nil, nil, err
-	}
-	spec, dc := r.MeanDRAMSavingsPct()
-	extra := report.NewTable("Headline numbers", "value")
-	extra.AddRow("mean DRAM savings, SPEC %", spec)
-	extra.AddRow("mean DRAM savings, datacenter %", dc)
-	extra.AddRow("max execution overhead %", r.MaxOverheadPct())
-	return []*report.Table{r.Fig9Table(), r.Fig10Table(), r.Fig11Table(), extra}, nil, nil
-}
-
 func main() {
 	var (
 		which  = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
@@ -162,10 +36,11 @@ func main() {
 	}
 	opts := exp.Options{Quick: *quick, Seed: *seed}
 
+	experiments := exp.Registry()
 	ids := []string{*which}
 	if *which == "all" {
 		// Deduplicate the aliases that share one run.
-		ids = []string{"fig1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig12", "fig13", "tab1", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr"}
+		ids = exp.CanonicalExperiments()
 	}
 	seen := map[string]bool{}
 	sort.Strings(ids)
@@ -227,10 +102,5 @@ func writeCSV(path string, t *report.Table) error {
 }
 
 func known() string {
-	var ids []string
-	for id := range experiments {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return strings.Join(ids, ", ")
+	return strings.Join(exp.KnownExperiments(), ", ")
 }

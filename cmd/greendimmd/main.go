@@ -1,0 +1,86 @@
+// Command greendimmd serves the simulator as a long-running HTTP daemon.
+// Clients POST job specs (a paper experiment id or a §6.3 VM-consolidation
+// scenario) to /v1/jobs; a bounded worker pool runs each job on its own
+// deterministic engine, results are cached by spec hash, and /metrics
+// exposes queue and cache health in Prometheus text format.
+//
+// Usage:
+//
+//	greendimmd -addr :8080 -workers 4 -queue 16
+//	curl -d '{"kind":"experiment","experiment":{"id":"fig12"}}' localhost:8080/v1/jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"greendimm/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers")
+		queue      = flag.Int("queue", 16, "bounded job queue depth (full queue returns HTTP 429)")
+		cacheSize  = flag.Int("cache", 128, "result cache entries (keyed by job-spec hash)")
+		defTimeout = flag.Duration("timeout", 15*time.Minute, "default per-job deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Hour, "ceiling on client-requested deadlines")
+		grace      = flag.Duration("grace", 2*time.Minute, "drain window for in-flight jobs on shutdown")
+		maxRecords = flag.Int("max-records", 4096, "finished job records to retain")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxJobRecords:  *maxRecords,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("greendimmd listening on %s (%d workers, queue %d, cache %d)",
+			*addr, *workers, *queue, *cacheSize)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("shutting down: draining in-flight jobs (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop accepting HTTP traffic first, then drain the worker pool.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain window expired; canceled remaining jobs")
+		} else {
+			log.Printf("pool shutdown: %v", err)
+		}
+		os.Exit(1)
+	}
+	log.Printf("all jobs drained; bye")
+}

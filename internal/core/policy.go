@@ -1,0 +1,38 @@
+package core
+
+import "fmt"
+
+// ParseSelectPolicy maps the String() names ("free-first",
+// "removable-first", "random") back to policies. The empty string parses
+// to SelectFreeFirst so serialized job specs can omit the field.
+func ParseSelectPolicy(s string) (SelectPolicy, error) {
+	switch s {
+	case "", SelectFreeFirst.String():
+		return SelectFreeFirst, nil
+	case SelectRemovableFirst.String():
+		return SelectRemovableFirst, nil
+	case SelectRandom.String():
+		return SelectRandom, nil
+	}
+	return SelectFreeFirst, fmt.Errorf("core: unknown select policy %q (want %s, %s or %s)",
+		s, SelectFreeFirst, SelectRemovableFirst, SelectRandom)
+}
+
+// MarshalText serializes the policy by name, so Config round-trips through
+// JSON job specs.
+func (p SelectPolicy) MarshalText() ([]byte, error) {
+	if p < SelectFreeFirst || p > SelectRandom {
+		return nil, fmt.Errorf("core: cannot marshal invalid select policy %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText parses a policy name.
+func (p *SelectPolicy) UnmarshalText(b []byte) error {
+	v, err := ParseSelectPolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}

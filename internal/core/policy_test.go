@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseSelectPolicy(t *testing.T) {
+	for _, p := range []SelectPolicy{SelectFreeFirst, SelectRemovableFirst, SelectRandom} {
+		got, err := ParseSelectPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseSelectPolicy(%q) = %v, %v; want %v", p, got, err, p)
+		}
+	}
+	if got, err := ParseSelectPolicy(""); err != nil || got != SelectFreeFirst {
+		t.Errorf("ParseSelectPolicy(\"\") = %v, %v; want free-first", got, err)
+	}
+	if _, err := ParseSelectPolicy("bogus"); err == nil {
+		t.Error("ParseSelectPolicy(\"bogus\") succeeded")
+	}
+}
+
+func TestSelectPolicyJSONRoundTrip(t *testing.T) {
+	type spec struct {
+		Policy SelectPolicy `json:"policy"`
+	}
+	b, err := json.Marshal(spec{Policy: SelectRemovableFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"policy":"removable-first"}`; string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+	var s spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Policy != SelectRemovableFirst {
+		t.Errorf("round trip = %v, want removable-first", s.Policy)
+	}
+	if err := json.Unmarshal([]byte(`{"policy":"nope"}`), &s); err == nil {
+		t.Error("unmarshal of unknown policy succeeded")
+	}
+}

@@ -55,7 +55,7 @@ func dynAblation(opts Options, mutate func(*core.Config)) (*core.Daemon, error) 
 		return nil, fmt.Errorf("exp: gcc missing")
 	}
 	const totalBytes = 64 << 30
-	eng := sim.NewEngine()
+	eng := opts.newEngine()
 	mem, err := kernel.New(kernel.Config{
 		TotalBytes: totalBytes, PageBytes: 1 << 20,
 		KernelReservedBytes: 1 << 30, Seed: opts.Seed,
@@ -191,7 +191,7 @@ func ablateIdlePolicy(opts Options) (*report.Table, error) {
 		{"default (1us/64us)", sim.Microsecond, 64 * sim.Microsecond},
 		{"conservative (10us/1ms)", 10 * sim.Microsecond, sim.Millisecond},
 	} {
-		eng := sim.NewEngine()
+		eng := opts.newEngine()
 		ctrl, err := mc.New(eng, mc.Config{
 			Org: dram.Org64GB(), Timing: dram.DDR4_2133(),
 			Interleaved: false, LowPower: true,

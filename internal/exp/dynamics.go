@@ -57,6 +57,7 @@ type dynamicsConfig struct {
 	// leakEvery scatters kernel pages into the region (Fig. 8 setup).
 	leakEvery int
 	seed      int64
+	hooks     Hooks
 }
 
 // indirectStallPerEvent models the execution-time cost of one on/off-lining
@@ -72,7 +73,7 @@ func indirectStallPerEvent(prof workload.Profile) sim.Time {
 func runDynamics(cfg dynamicsConfig) (DynamicsRun, error) {
 	const totalBytes = 64 << 30
 	const pageBytes = 1 << 20
-	eng := sim.NewEngine()
+	eng := cfg.hooks.newEngine()
 	kcfg := kernel.Config{
 		TotalBytes:          totalBytes,
 		PageBytes:           pageBytes,

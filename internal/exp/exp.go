@@ -19,7 +19,44 @@ type Options struct {
 	// keep their shape but carry more noise.
 	Quick bool
 	Seed  int64
+
+	// Hooks carries run instrumentation (cancellation, engine
+	// observation). It never influences results — only whether and how
+	// far a run proceeds — so it is excluded from serialized job specs.
+	Hooks Hooks `json:"-"`
 }
+
+// Hooks lets a caller — the greendimmd daemon, a test harness — observe
+// and interrupt an experiment without perturbing its determinism.
+type Hooks struct {
+	// Stop, when non-nil, is polled from every engine's event loop (at
+	// sim.DefaultStopCheckEvery stride). Returning true aborts the run
+	// early; the experiment then returns partial, meaningless results,
+	// so callers that installed Stop must discard them (greendimmd
+	// checks its job context and reports the job canceled).
+	Stop func() bool
+	// Observe, when non-nil, sees every engine the experiment creates,
+	// in creation order — used to meter simulated time against wall
+	// time.
+	Observe func(*sim.Engine)
+}
+
+// newEngine builds an experiment engine with the hooks installed. All
+// run paths in this package create engines through this (or through
+// Options.newEngine) so daemon-run jobs honor deadlines.
+func (h Hooks) newEngine() *sim.Engine {
+	e := sim.NewEngine()
+	if h.Stop != nil {
+		e.SetStopCheck(0, h.Stop)
+	}
+	if h.Observe != nil {
+		h.Observe(e)
+	}
+	return e
+}
+
+// newEngine builds the experiment's engine with o's hooks installed.
+func (o Options) newEngine() *sim.Engine { return o.Hooks.newEngine() }
 
 // accessBudget picks the per-core number of DRAM accesses for detailed
 // runs.

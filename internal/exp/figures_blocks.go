@@ -26,6 +26,7 @@ func blockDynDefaults(prof workload.Profile, blockMB int64, opts Options) dynami
 		movableGB: 4,
 		groupMB:   128,
 		seed:      opts.Seed + 31,
+		hooks:     opts.Hooks,
 	}
 }
 

@@ -74,6 +74,7 @@ func RunEnergyMatrix(opts Options) (EnergyResult, error) {
 			duration: 120 * sim.Second, // cheap: no request-level simulation
 			policy:   core.SelectFreeFirst,
 			seed:     opts.Seed + 41,
+			hooks:    opts.Hooks,
 		})
 		if err != nil {
 			return EnergyResult{}, fmt.Errorf("%s dynamics: %w", prof.Name, err)
@@ -87,6 +88,7 @@ func RunEnergyMatrix(opts Options) (EnergyResult, error) {
 				copies:      copiesFor(prof),
 				accesses:    opts.accessBudget(25000),
 				seed:        opts.Seed + 42,
+				hooks:       opts.Hooks,
 			})
 			if err != nil {
 				return EnergyResult{}, fmt.Errorf("%s timing: %w", prof.Name, err)

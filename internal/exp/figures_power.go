@@ -44,6 +44,7 @@ func RunFig2(opts Options) (Fig2Result, error) {
 		copies:      8, // the multiprogrammed stressor
 		accesses:    opts.accessBudget(40000),
 		seed:        opts.Seed + 11,
+		hooks:       opts.Hooks,
 	})
 	if err != nil {
 		return Fig2Result{}, err
@@ -134,6 +135,7 @@ func RunFig3(opts Options) (Fig3Result, error) {
 				copies:      copiesFor(prof),
 				accesses:    opts.accessBudget(30000),
 				seed:        opts.Seed + 21,
+				hooks:       opts.Hooks,
 			})
 			if err != nil {
 				return Fig3Result{}, err

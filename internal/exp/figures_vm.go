@@ -18,11 +18,11 @@ type Fig1Result struct {
 // RunFig1 reproduces Fig. 1.
 func RunFig1(opts Options) (Fig1Result, error) {
 	horizon := opts.horizon(24 * sim.Hour)
-	no, err := runVMDay(vmDayConfig{horizon: horizon, seed: opts.Seed + 1})
+	no, err := runVMDay(vmDayConfig{horizon: horizon, seed: opts.Seed + 1, hooks: opts.Hooks})
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	with, err := runVMDay(vmDayConfig{withKSM: true, horizon: horizon, seed: opts.Seed + 1})
+	with, err := runVMDay(vmDayConfig{withKSM: true, horizon: horizon, seed: opts.Seed + 1, hooks: opts.Hooks})
 	if err != nil {
 		return Fig1Result{}, err
 	}
@@ -121,11 +121,11 @@ type Fig12Result struct {
 // RunFig12 reproduces Fig. 12 (and §6.3's block-count statistics).
 func RunFig12(opts Options) (Fig12Result, error) {
 	horizon := opts.horizon(24 * sim.Hour)
-	no, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2})
+	no, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
 	if err != nil {
 		return Fig12Result{}, err
 	}
-	with, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2})
+	with, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
 	if err != nil {
 		return Fig12Result{}, err
 	}
@@ -181,11 +181,11 @@ func RunFig13(opts Options) (Fig13Result, error) {
 	// The paper derives Fig. 13 from the same measured 256GB day as
 	// Fig. 12; use the same trace seed.
 	horizon := opts.horizon(24 * sim.Hour)
-	day, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2})
+	day, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
 	if err != nil {
 		return Fig13Result{}, err
 	}
-	dayKSM, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2})
+	dayKSM, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
 	if err != nil {
 		return Fig13Result{}, err
 	}

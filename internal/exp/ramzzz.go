@@ -45,7 +45,7 @@ func RunRAMZzz(opts Options) (RAMZzzResult, error) {
 
 func runRAMZzzCell(interleaved, withDaemon bool, opts Options) (RAMZzzRow, error) {
 	org := dram.Org64GB()
-	eng := sim.NewEngine()
+	eng := opts.newEngine()
 	mem, err := kernel.New(kernel.Config{TotalBytes: org.TotalBytes(), PageBytes: 1 << 20})
 	if err != nil {
 		return RAMZzzRow{}, err

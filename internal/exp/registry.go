@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"sort"
+
+	"greendimm/internal/report"
+)
+
+// Runner regenerates one experiment: its tables plus optional plotted
+// series. Runners wrap the typed RunXxx entry points with the headline
+// extras the CLI prints, so cmd/greendimm and the greendimmd daemon serve
+// byte-identical tables from one registry.
+type Runner func(Options) ([]*report.Table, []report.Series, error)
+
+// Registry maps experiment ids (fig1..fig13, tab1..tab3, ablations, tail,
+// ramzzz, hwcost, swapthr) to runners. Aliases share one run: fig6, fig7
+// and tab2 come out of the block-size sweep; fig9, fig10 and fig11 out of
+// the energy matrix.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig1(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			extra := report.NewTable("", "value")
+			extra.AddRow("ksm reduction %", r.KSMReductionFrac()*100)
+			return []*report.Table{r.Table(), extra}, r.Series(), nil
+		},
+		"fig2": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig2(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"fig3": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig3(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"fig6": blockSweep, "fig7": blockSweep, "tab2": blockSweep,
+		"fig8": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig8(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			extra := report.NewTable("", "value")
+			extra.AddRow("failure reduction %", r.ReductionFrac()*100)
+			return []*report.Table{r.Table(), extra}, nil, nil
+		},
+		"fig9": energyMatrix, "fig10": energyMatrix, "fig11": energyMatrix,
+		"fig12": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig12(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, r.Series(), nil
+		},
+		"fig13": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunFig13(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"tab1": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunTable1(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"tab3": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunTable3(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"ablations": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunAblations(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.NeighborRule, r.Thresholds, r.GroupSize, r.DPDResidual, r.IdlePolicy}, nil, nil
+		},
+		"tail": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunTailLatency(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			extra := report.NewTable("", "value")
+			extra.AddRow("worst p99 inflation %", r.MaxP99InflationPct())
+			return []*report.Table{r.Table(), extra}, nil, nil
+		},
+		"ramzzz": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunRAMZzz(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+		"hwcost": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunHWCost()
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Register, r.Area}, nil, nil
+		},
+		"swapthr": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunSwapThreshold(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.Table()}, nil, nil
+		},
+	}
+}
+
+func blockSweep(o Options) ([]*report.Table, []report.Series, error) {
+	r, err := RunBlockSizeSweep(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []*report.Table{r.Fig6Table(), r.Fig7Table(), r.Table2()}, nil, nil
+}
+
+func energyMatrix(o Options) ([]*report.Table, []report.Series, error) {
+	r, err := RunEnergyMatrix(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, dc := r.MeanDRAMSavingsPct()
+	extra := report.NewTable("Headline numbers", "value")
+	extra.AddRow("mean DRAM savings, SPEC %", spec)
+	extra.AddRow("mean DRAM savings, datacenter %", dc)
+	extra.AddRow("max execution overhead %", r.MaxOverheadPct())
+	return []*report.Table{r.Fig9Table(), r.Fig10Table(), r.Fig11Table(), extra}, nil, nil
+}
+
+// KnownExperiments reports every registry id, sorted.
+func KnownExperiments() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// CanonicalExperiments is the alias-deduplicated id list "-experiment
+// all" iterates: one id per underlying run.
+func CanonicalExperiments() []string {
+	return []string{"fig1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig12", "fig13",
+		"tab1", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr"}
+}

@@ -59,7 +59,7 @@ func runSwapCell(offThr float64, adaptive bool, opts Options) (SwapThrRow, error
 	const totalBytes = 64 << 30
 	const pageBytes = 1 << 20
 	const owner = 80
-	eng := sim.NewEngine()
+	eng := opts.newEngine()
 	mem, err := kernel.New(kernel.Config{
 		TotalBytes: totalBytes, PageBytes: pageBytes,
 		KernelReservedBytes: 1 << 30, Seed: opts.Seed,

@@ -74,7 +74,7 @@ type tailStats struct {
 // cost to the server.
 func runService(prof workload.Profile, withDaemon bool, opts Options) (tailStats, int64, error) {
 	org := dram.Org64GB()
-	eng := sim.NewEngine()
+	eng := opts.newEngine()
 	mem, err := kernel.New(kernel.Config{
 		TotalBytes:          org.TotalBytes(),
 		PageBytes:           1 << 20,

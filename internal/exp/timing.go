@@ -34,12 +34,13 @@ type timingConfig struct {
 	copies      int
 	accesses    int64 // per copy
 	seed        int64
+	hooks       Hooks
 }
 
 // runTiming executes the run and collects controller activity.
 func runTiming(cfg timingConfig) (TimingRun, error) {
 	org := dram.Org64GB()
-	eng := sim.NewEngine()
+	eng := cfg.hooks.newEngine()
 	mem, err := kernel.New(kernel.Config{
 		TotalBytes: org.TotalBytes(),
 		PageBytes:  1 << 20, // 1MB frames keep the page array compact

@@ -1,10 +1,6 @@
 package exp
 
 import (
-	"greendimm/internal/core"
-	"greendimm/internal/dram"
-	"greendimm/internal/hotplug"
-	"greendimm/internal/kernel"
 	"greendimm/internal/ksm"
 	"greendimm/internal/power"
 	"greendimm/internal/sim"
@@ -47,136 +43,18 @@ type vmDayConfig struct {
 	withGreenDIMM bool
 	horizon       sim.Time
 	seed          int64
+	hooks         Hooks
 }
 
 // runVMDay simulates the paper's 256GB VM server for a day in epoch mode.
+// It is the paper-default instantiation of RunVMScenario.
 func runVMDay(cfg vmDayConfig) (VMDayResult, error) {
-	org := dram.Org256GB()
-	eng := sim.NewEngine()
-	mem, err := kernel.New(kernel.Config{
-		TotalBytes: org.TotalBytes(),
-		PageBytes:  2 << 20,
-		Seed:       cfg.seed,
-	})
-	if err != nil {
-		return VMDayResult{}, err
-	}
-	var ksmd *ksm.Daemon
-	if cfg.withKSM {
-		// The paper's 1000-pages/50ms scan (80MB/s) in 2MB frames.
-		ksmd, err = ksm.New(eng, mem, ksm.Config{
-			PagesPerScan:    2,
-			ScanPeriod:      50 * sim.Millisecond,
-			ScanCostPerPage: 2560 * sim.Microsecond,
-			Seed:            cfg.seed,
-		})
-		if err != nil {
-			return VMDayResult{}, err
-		}
-		ksmd.Start()
-	}
-
-	// GreenDIMM: 1GB memory blocks mapped 1:1 onto 1GB sub-array groups
-	// (paper §6.3: "we use 1GB as the size of memory block for 256GB").
-	const blockBytes = 1 << 30
-	hp, err := hotplug.New(mem, hotplug.Config{BlockBytes: blockBytes, Seed: cfg.seed})
-	if err != nil {
-		return VMDayResult{}, err
-	}
-	groups := int(org.TotalBytes() / blockBytes)
-	ctrl := core.NewRegisterController(eng, groups)
-	var daemon *core.Daemon
-	if cfg.withGreenDIMM {
-		daemon, err = core.New(eng, mem, hp, ctrl, core.Config{
-			Period:            sim.Second,
-			GroupBytes:        blockBytes,
-			MaxOfflinePerTick: 8,
-			Seed:              cfg.seed,
-		})
-		if err != nil {
-			return VMDayResult{}, err
-		}
-		daemon.Start()
-		if ksmd != nil {
-			// §5.3 optimization: react right after each merge pass.
-			ksmd.OnFullPass(daemon.Tick)
-		}
-	}
-
-	vcfg := vmtrace.DefaultConfig()
-	vcfg.Seed = cfg.seed
-	host, err := vmtrace.New(eng, mem, ksmd, vcfg)
-	if err != nil {
-		return VMDayResult{}, err
-	}
-	host.Start()
-
-	model, err := power.NewModel(org)
-	if err != nil {
-		return VMDayResult{}, err
-	}
-	sys := power.DefaultSystem()
-
-	res := VMDayResult{WithKSM: cfg.withKSM, WithGreenDIMM: cfg.withGreenDIMM, MinUsedFrac: 1}
-	res.MinOffBlocks = groups + 1
-	var powerSum, sysSum float64
-	var sampler func()
-	samplePeriod := 5 * sim.Minute
-	sampler = func() {
-		s := VMDaySample{At: eng.Now()}
-		mi := mem.Meminfo()
-		s.UsedFrac = float64(mi.UsedBytes) / float64(org.TotalBytes())
-		s.CPUUtil = hostCPUUtil(host, ksmd)
-		if daemon != nil {
-			s.OfflinedBlocks = daemon.OfflinedBlocks()
-			s.DPDFrac = daemon.DPDFraction()
-		}
-		if ksmd != nil {
-			s.KSMSavedBytes = ksmd.SavedBytes()
-		}
-		res.Samples = append(res.Samples, s)
-		dramW, sysW := vmPowerW(model, sys, s.DPDFrac, s.CPUUtil)
-		powerSum += dramW
-		sysSum += sysW
-		eng.AfterDaemon(samplePeriod, sampler)
-	}
-	eng.AtDaemon(eng.Now()+samplePeriod, sampler)
-	eng.RunUntil(cfg.horizon)
-
-	// Aggregate.
-	var usedSum, cpuSum, offSum, dpdSum float64
-	var savedSum int64
-	for _, s := range res.Samples {
-		usedSum += s.UsedFrac
-		cpuSum += s.CPUUtil
-		offSum += float64(s.OfflinedBlocks)
-		dpdSum += s.DPDFrac
-		savedSum += s.KSMSavedBytes
-		if s.UsedFrac < res.MinUsedFrac {
-			res.MinUsedFrac = s.UsedFrac
-		}
-		if s.UsedFrac > res.MaxUsedFrac {
-			res.MaxUsedFrac = s.UsedFrac
-		}
-		if s.OfflinedBlocks < res.MinOffBlocks {
-			res.MinOffBlocks = s.OfflinedBlocks
-		}
-		if s.OfflinedBlocks > res.MaxOffBlocks {
-			res.MaxOffBlocks = s.OfflinedBlocks
-		}
-	}
-	n := float64(len(res.Samples))
-	if n > 0 {
-		res.AvgUsedFrac = usedSum / n
-		res.AvgCPUUtil = cpuSum / n
-		res.AvgOffBlocks = offSum / n
-		res.AvgDPDFrac = dpdSum / n
-		res.KSMSavedAvg = savedSum / int64(n)
-		res.AvgDRAMPowerW = powerSum / n
-		res.AvgSystemW = sysSum / n
-	}
-	res.BGReductionPct = res.AvgDPDFrac * (1 - model.DPDResidual) * 100
-	return res, nil
+	return RunVMScenario(VMScenario{
+		KSM:             cfg.withKSM,
+		GreenDIMM:       cfg.withGreenDIMM,
+		Seed:            cfg.seed,
+		horizonOverride: cfg.horizon,
+	}, cfg.hooks)
 }
 
 // hostCPUUtil folds ksmd's scan cost into the host utilization.

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition builds Prometheus text-format (version 0.0.4) output without
+// any client library: the daemon's /metrics endpoint assembles one per
+// scrape from plain counters. Add families in the order you want them
+// exposed; samples within a family keep insertion order (label sets are
+// rendered with sorted keys, as the format requires consistency but not
+// ordering).
+type Exposition struct {
+	b strings.Builder
+}
+
+// Sample is one time-series point of a metric family.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// V is shorthand for an unlabeled sample.
+func V(v float64) Sample { return Sample{Value: v} }
+
+// Add appends one metric family with its HELP/TYPE header and samples.
+// typ is "counter", "gauge", or "untyped".
+func (e *Exposition) Add(name, typ, help string, samples ...Sample) {
+	if help != "" {
+		fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&e.b, "# TYPE %s %s\n", name, typ)
+	for _, s := range samples {
+		e.b.WriteString(name)
+		e.b.WriteString(renderLabels(s.Labels))
+		e.b.WriteByte(' ')
+		e.b.WriteString(formatValue(s.Value))
+		e.b.WriteByte('\n')
+	}
+}
+
+// String returns the accumulated exposition.
+func (e *Exposition) String() string { return e.b.String() }
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, double quote and newline exactly as the
+		// exposition format specifies.
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline (the only escapes HELP allows).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

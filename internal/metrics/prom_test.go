@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpositionFormat(t *testing.T) {
+	var e Exposition
+	e.Add("gd_queue_depth", "gauge", "Jobs waiting in the queue.", V(3))
+	e.Add("gd_jobs_total", "counter", "Jobs by terminal state.",
+		Sample{Labels: map[string]string{"state": "succeeded"}, Value: 12},
+		Sample{Labels: map[string]string{"state": "failed"}, Value: 1},
+	)
+	want := strings.Join([]string{
+		"# HELP gd_queue_depth Jobs waiting in the queue.",
+		"# TYPE gd_queue_depth gauge",
+		"gd_queue_depth 3",
+		"# HELP gd_jobs_total Jobs by terminal state.",
+		"# TYPE gd_jobs_total counter",
+		`gd_jobs_total{state="succeeded"} 12`,
+		`gd_jobs_total{state="failed"} 1`,
+		"",
+	}, "\n")
+	if got := e.String(); got != want {
+		t.Errorf("exposition =\n%s\nwant\n%s", got, want)
+	}
+}
+
+func TestExpositionLabelOrderAndEscaping(t *testing.T) {
+	var e Exposition
+	e.Add("m", "gauge", "line1\nline2 back\\slash",
+		Sample{Labels: map[string]string{"b": `quo"te`, "a": "x\ny"}, Value: 0.5})
+	got := e.String()
+	if !strings.Contains(got, `# HELP m line1\nline2 back\\slash`) {
+		t.Errorf("help not escaped: %q", got)
+	}
+	if !strings.Contains(got, `m{a="x\ny",b="quo\"te"} 0.5`) {
+		t.Errorf("labels not sorted/escaped: %q", got)
+	}
+}
+
+func TestExpositionValueFormatting(t *testing.T) {
+	var e Exposition
+	e.Add("v", "gauge", "", V(0.6180339887498949), V(1e9))
+	got := e.String()
+	if strings.Contains(got, "# HELP") {
+		t.Errorf("empty help should omit the HELP line: %q", got)
+	}
+	if !strings.Contains(got, "v 0.6180339887498949\n") || !strings.Contains(got, "v 1e+09\n") {
+		t.Errorf("value formatting off: %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package report
+
+import "encoding/json"
+
+// tableJSON is the wire form of a Table: the grid as labeled rows of
+// preformatted cells, so daemon clients see exactly the numbers the CLI
+// prints.
+type tableJSON struct {
+	Title   string    `json:"title,omitempty"`
+	Columns []string  `json:"columns"`
+	Rows    []rowJSON `json:"rows"`
+}
+
+type rowJSON struct {
+	Label  string   `json:"label"`
+	Values []string `json:"values"`
+}
+
+// MarshalJSON renders the table as {title, columns, rows:[{label,values}]}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.Columns, Rows: make([]rowJSON, 0, len(t.rows))}
+	if out.Columns == nil {
+		out.Columns = []string{}
+	}
+	for _, r := range t.rows {
+		vs := r.values
+		if vs == nil {
+			vs = []string{}
+		}
+		out.Rows = append(out.Rows, rowJSON{Label: r.label, Values: vs})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a table marshaled by MarshalJSON.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	t.Title = in.Title
+	t.Columns = in.Columns
+	t.rows = t.rows[:0]
+	for _, r := range in.Rows {
+		t.rows = append(t.rows, row{label: r.Label, values: r.Values})
+	}
+	return nil
+}

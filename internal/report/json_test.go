@@ -1,0 +1,39 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("Power", "watts", "ratio")
+	tb.AddRow("baseline", 100, 1)
+	tb.AddRow("greendimm", 52.5, 0.525)
+	b, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"Power","columns":["watts","ratio"],"rows":[` +
+		`{"label":"baseline","values":["100","1"]},` +
+		`{"label":"greendimm","values":["52.5","0.525"]}]}`
+	if string(b) != want {
+		t.Errorf("marshal = %s\nwant      %s", b, want)
+	}
+	var back Table
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tb.String() {
+		t.Errorf("round trip renders\n%s\nwant\n%s", back.String(), tb.String())
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	b, err := json.Marshal(NewTable(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"columns":[],"rows":[]}`; string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs       submit a JobSpec; 202 queued, 200 cache hit,
+//	                      400 invalid, 429 queue full, 503 draining
+//	GET    /v1/jobs       list retained jobs (no results)
+//	GET    /v1/jobs/{id}  one job, with result once succeeded;
+//	                      ?wait=30s blocks until terminal or timeout
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness + drain state
+//	GET    /metrics       Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields() // catch misspelled knobs instead of silently defaulting
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	v, err := s.Submit(spec)
+	var invalid *InvalidSpecError
+	switch {
+	case errors.As(err, &invalid):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: invalid.Error()})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	case v.Cached:
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusOK, v)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if wait := r.URL.Query().Get("wait"); wait != "" {
+		ctx := r.Context()
+		if d, err := time.ParseDuration(wait); err == nil && d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		v, err := s.Wait(ctx, id)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, v)
+		case errors.Is(err, ctx.Err()) && ctx.Err() != nil:
+			// Timed out waiting: report current state instead of failing.
+			if v, ok := s.Get(id); ok {
+				writeJSON(w, http.StatusOK, v)
+				return
+			}
+			writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		default:
+			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		}
+		return
+	}
+	v, ok := s.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.Cancel(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status string `json:"status"`
+	}{Status: status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.renderMetrics()))
+}

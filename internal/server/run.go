@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"greendimm/internal/exp"
+	"greendimm/internal/report"
+	"greendimm/internal/sim"
+)
+
+// Result is the output of one executed job: the experiment's tables and
+// series (rendered text included, byte-identical to the CLI), plus the
+// sim-time/wall-time accounting the metrics endpoint aggregates.
+type Result struct {
+	Tables []*report.Table  `json:"tables,omitempty"`
+	Series []report.Series  `json:"series,omitempty"`
+	VMDay  *exp.VMDayResult `json:"vmday,omitempty"`
+	// Text is the human-readable rendering of Tables and Series — what
+	// `greendimm -experiment <id>` prints for the same spec.
+	Text string `json:"text"`
+	// SimSeconds is the total simulated time advanced across every
+	// engine the job created.
+	SimSeconds float64 `json:"sim_seconds"`
+	// WallSeconds is the job's execution time on its worker (filled by
+	// the pool, zero on cache hits — that being the point).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// runSpec executes a normalized spec. stop is polled from the engines'
+// event loops; when it reports true the run aborts and runSpec's result
+// must be discarded (the pool checks its job context, which is what stop
+// watches). Deterministic: the same spec always yields the same Tables,
+// Series, VMDay and Text.
+func runSpec(spec JobSpec, stop func() bool) (*Result, error) {
+	var engines []*sim.Engine
+	hooks := exp.Hooks{
+		Stop:    stop,
+		Observe: func(e *sim.Engine) { engines = append(engines, e) },
+	}
+	res := &Result{}
+	switch spec.Kind {
+	case KindExperiment:
+		fn := exp.Registry()[spec.Experiment.ID]
+		if fn == nil {
+			return nil, fmt.Errorf("unknown experiment %q", spec.Experiment.ID)
+		}
+		tables, series, err := fn(exp.Options{
+			Quick: spec.Experiment.Quick,
+			Seed:  spec.Experiment.Seed,
+			Hooks: hooks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Tables, res.Series = tables, series
+	case KindVMServer:
+		day, err := exp.RunVMScenario(*spec.VMServer, hooks)
+		if err != nil {
+			return nil, err
+		}
+		res.VMDay = &day
+		res.Tables = []*report.Table{vmScenarioTable(*spec.VMServer, day)}
+		res.Series = vmScenarioSeries(day)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", spec.Kind)
+	}
+	for _, e := range engines {
+		res.SimSeconds += e.Now().Seconds()
+	}
+	res.Text = renderText(res.Tables, res.Series)
+	return res, nil
+}
+
+// renderText reproduces the CLI's per-experiment output: each table, then
+// one sparkline per series.
+func renderText(tables []*report.Table, series []report.Series) string {
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-10s %s\n", s.Name, s.Sparkline(64))
+	}
+	return b.String()
+}
+
+// vmScenarioTable summarizes one VM-server run the way Fig. 12's rows do.
+func vmScenarioTable(s exp.VMScenario, r exp.VMDayResult) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("VM server: %dGB, %gh, ksm=%v, greendimm=%v", s.CapacityGB, s.Hours, s.KSM, s.GreenDIMM),
+		"value")
+	t.AddRow("avg used %", r.AvgUsedFrac*100)
+	t.AddRow("min used %", r.MinUsedFrac*100)
+	t.AddRow("max used %", r.MaxUsedFrac*100)
+	t.AddRow("avg cpu util %", r.AvgCPUUtil*100)
+	t.AddRow("avg off-lined blocks", r.AvgOffBlocks)
+	t.AddRow("avg dpd frac %", r.AvgDPDFrac*100)
+	t.AddRow("ksm saved GB (avg)", float64(r.KSMSavedAvg)/float64(1<<30))
+	t.AddRow("avg dram W", r.AvgDRAMPowerW)
+	t.AddRow("avg system W", r.AvgSystemW)
+	t.AddRow("bg power reduction %", r.BGReductionPct)
+	return t
+}
+
+// vmScenarioSeries plots utilization, off-lined blocks and the DPD
+// fraction over the run.
+func vmScenarioSeries(r exp.VMDayResult) []report.Series {
+	used := report.Series{Name: "used-frac"}
+	off := report.Series{Name: "off-blocks"}
+	dpd := report.Series{Name: "dpd-frac"}
+	for _, s := range r.Samples {
+		h := s.At.Seconds() / 3600
+		used.Add(h, s.UsedFrac)
+		off.Add(h, float64(s.OfflinedBlocks))
+		dpd.Add(h, s.DPDFrac)
+	}
+	return []report.Series{used, off, dpd}
+}

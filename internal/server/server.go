@@ -1,0 +1,530 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Submit errors; the HTTP layer maps them onto statuses (429, 503, 400).
+var (
+	// ErrQueueFull means the bounded queue rejected the job: the client
+	// should back off and retry.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining means the server is shutting down and accepts no work.
+	ErrDraining = errors.New("server: shutting down")
+)
+
+// InvalidSpecError reports a spec that failed validation.
+type InvalidSpecError struct{ Err error }
+
+func (e *InvalidSpecError) Error() string { return "server: invalid job spec: " + e.Err.Error() }
+func (e *InvalidSpecError) Unwrap() error { return e.Err }
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateSucceeded JobState = "succeeded"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled" // client cancel or deadline
+)
+
+// terminal reports whether no further transitions can happen.
+func (s JobState) terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Config tunes the service. Zero values take defaults.
+type Config struct {
+	// Workers is the pool size (default GOMAXPROCS). Each worker runs
+	// one job at a time on that job's own engines; engines share
+	// nothing, so jobs parallelize across cores.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs
+	// (default 16). A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 128, LRU).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that don't set timeout_sec
+	// (default 15m); MaxTimeout caps every job (default 2h).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobRecords bounds the in-memory job table: beyond it, the
+	// oldest terminal records are forgotten (default 4096).
+	MaxJobRecords int
+
+	// runner is the execution function — a test seam; nil means
+	// runSpec (the real simulator).
+	runner func(JobSpec, func() bool) (*Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 15 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Hour
+	}
+	if c.MaxJobRecords <= 0 {
+		c.MaxJobRecords = 4096
+	}
+	if c.runner == nil {
+		c.runner = runSpec
+	}
+	return c
+}
+
+// job is the internal record; jobView snapshots it for clients.
+type job struct {
+	id        string
+	hash      string
+	spec      JobSpec
+	state     JobState
+	cached    bool
+	errMsg    string
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+	done            chan struct{}      // closed on terminal state
+}
+
+// JobView is the JSON snapshot of a job returned by the API.
+type JobView struct {
+	ID          string     `json:"id"`
+	SpecHash    string     `json:"spec_hash"`
+	State       JobState   `json:"state"`
+	Cached      bool       `json:"cached,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Spec        JobSpec    `json:"spec"`
+	Result      *Result    `json:"result,omitempty"`
+}
+
+// counters aggregates service activity for /metrics. Guarded by Server.mu.
+type counters struct {
+	submitted        int64
+	succeeded        int64
+	failed           int64
+	canceled         int64
+	rejectedFull     int64
+	rejectedInvalid  int64
+	rejectedDraining int64
+	cacheHits        int64
+	cacheMisses      int64
+	simSecondsSum    float64 // over succeeded jobs
+	wallSecondsSum   float64
+}
+
+type cacheEntry struct {
+	hash string
+	res  *Result
+}
+
+// Server is the simulation service: Submit feeds the queue, Workers drain
+// it, results land in the LRU cache. All methods are safe for concurrent
+// use.
+type Server struct {
+	cfg Config
+
+	baseCtx   context.Context // parent of every job context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	seq      int64
+	jobs     map[string]*job
+	order    []string // insertion order, for listing and record pruning
+	queue    chan *job
+	draining bool
+	busy     int // workers currently executing
+	ctr      counters
+	cache    map[string]*list.Element
+	lru      *list.List // front = most recent; values are cacheEntry
+
+	wg sync.WaitGroup
+}
+
+// New starts a server with cfg's worker pool. Call Shutdown to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
+		cache:     make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates, cache-checks and enqueues one job. It returns the
+// job's snapshot: state "succeeded" with Cached set when the result came
+// from the cache, "queued" otherwise. Errors: *InvalidSpecError,
+// ErrQueueFull, ErrDraining.
+func (s *Server) Submit(spec JobSpec) (JobView, error) {
+	norm, err := spec.normalized()
+	if err == nil {
+		_, err = norm.hash()
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.ctr.rejectedInvalid++
+		s.mu.Unlock()
+		return JobView{}, &InvalidSpecError{Err: err}
+	}
+	hash, _ := norm.hash()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.ctr.rejectedDraining++
+		return JobView{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		hash:      hash,
+		spec:      norm,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	if res, ok := s.cacheGet(hash); ok {
+		s.ctr.submitted++
+		s.ctr.cacheHits++
+		j.state = StateSucceeded
+		j.cached = true
+		j.result = res
+		j.started, j.finished = j.submitted, j.submitted
+		close(j.done)
+		s.record(j)
+		return s.view(j, true), nil
+	}
+	j.state = StateQueued
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // the id was never exposed
+		s.ctr.rejectedFull++
+		return JobView{}, ErrQueueFull
+	}
+	s.ctr.submitted++
+	s.ctr.cacheMisses++
+	s.record(j)
+	return s.view(j, false), nil
+}
+
+// record indexes a job and prunes the oldest terminal records beyond the
+// table bound. Caller holds mu.
+func (s *Server) record(j *job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.cfg.MaxJobRecords {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxJobRecords
+	for _, id := range s.order {
+		if excess > 0 {
+			if old, ok := s.jobs[id]; ok && old.state.terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// worker executes queued jobs until the queue closes (Shutdown) — which
+// drains every queued job before the worker exits.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its deadline context.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.spec.TimeoutSec * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.busy++
+	runner := s.cfg.runner
+	spec := j.spec
+	s.mu.Unlock()
+
+	// The stop predicate is the cancel check the engines' event loops
+	// poll: deadline, client cancel and shutdown-force all flow through
+	// this one context.
+	res, err := runner(spec, func() bool { return ctx.Err() != nil })
+	wall := time.Since(j.started).Seconds()
+	ctxErr := ctx.Err()
+	cancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busy--
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil || j.cancelRequested:
+		// The run may have been truncated mid-simulation; its partial
+		// result is meaningless, so it is dropped even if the runner
+		// reported success.
+		j.state = StateCanceled
+		switch {
+		case errors.Is(ctxErr, context.DeadlineExceeded):
+			j.errMsg = fmt.Sprintf("deadline exceeded after %s", timeout)
+		case err != nil && !errors.Is(err, context.Canceled):
+			j.errMsg = fmt.Sprintf("canceled: %v", err)
+		default:
+			j.errMsg = "canceled"
+		}
+		s.ctr.canceled++
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.ctr.failed++
+	default:
+		res.WallSeconds = wall
+		j.state = StateSucceeded
+		j.result = res
+		s.ctr.succeeded++
+		s.ctr.simSecondsSum += res.SimSeconds
+		s.ctr.wallSecondsSum += wall
+		s.cachePut(j.hash, res)
+	}
+	close(j.done)
+}
+
+// cacheGet looks up and refreshes a cached result. Caller holds mu.
+func (s *Server) cacheGet(hash string) (*Result, bool) {
+	el, ok := s.cache[hash]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(cacheEntry).res, true
+}
+
+// cachePut stores a result, evicting the least-recently-used entry past
+// capacity. Caller holds mu.
+func (s *Server) cachePut(hash string, res *Result) {
+	if el, ok := s.cache[hash]; ok {
+		s.lru.MoveToFront(el)
+		el.Value = cacheEntry{hash: hash, res: res}
+		return
+	}
+	s.cache[hash] = s.lru.PushFront(cacheEntry{hash: hash, res: res})
+	for s.lru.Len() > s.cfg.CacheEntries {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.cache, oldest.Value.(cacheEntry).hash)
+	}
+}
+
+// view snapshots a job. Caller holds mu.
+func (s *Server) view(j *job, includeResult bool) JobView {
+	v := JobView{
+		ID:          j.id,
+		SpecHash:    j.hash,
+		State:       j.state,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+		Spec:        j.spec,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if includeResult && j.state == StateSucceeded {
+		v.Result = j.result
+	}
+	return v
+}
+
+// Get returns a job's snapshot, including its result once succeeded.
+func (s *Server) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.view(j, true), true
+}
+
+// List returns every retained job in submission order, without results.
+func (s *Server) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, s.view(j, false))
+		}
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. It reports the job's snapshot
+// after the request and whether the id exists. Cancelling a terminal job
+// is a no-op.
+func (s *Server) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.state = StateCanceled
+		j.errMsg = "canceled before start"
+		j.finished = time.Now()
+		s.ctr.canceled++
+		close(j.done)
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel() // the engine's stop check fires within its stride
+		}
+	}
+	return s.view(j, true), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, then
+// returns the snapshot.
+func (s *Server) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("server: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	v, _ := s.Get(id)
+	return v, nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops accepting jobs and drains the pool: queued and running
+// jobs finish normally. If ctx expires first, every remaining job context
+// is canceled (the engines abort at their next stop-check poll) and
+// Shutdown waits for the workers to exit, returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: Shutdown called twice")
+	}
+	s.draining = true
+	close(s.queue) // Submit rejects before sending once draining is set
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// stats is one consistent snapshot for /metrics.
+type stats struct {
+	counters
+	queueDepth  int
+	queueCap    int
+	workers     int
+	busyWorkers int
+	cacheSize   int
+	byState     map[JobState]int
+	draining    bool
+}
+
+func (s *Server) snapshot() stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := stats{
+		counters:    s.ctr,
+		queueDepth:  len(s.queue),
+		queueCap:    s.cfg.QueueDepth,
+		workers:     s.cfg.Workers,
+		busyWorkers: s.busy,
+		cacheSize:   len(s.cache),
+		draining:    s.draining,
+		byState: map[JobState]int{
+			StateQueued: 0, StateRunning: 0, StateSucceeded: 0, StateFailed: 0, StateCanceled: 0,
+		},
+	}
+	for _, j := range s.jobs {
+		st.byState[j.state]++
+	}
+	return st
+}

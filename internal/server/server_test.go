@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"greendimm/internal/exp"
+)
+
+// specN builds distinct valid specs (different seeds → different hashes).
+func specN(n int64) JobSpec {
+	return JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "hwcost", Seed: n}}
+}
+
+// newTestServer builds a server with a fake runner.
+func newTestServer(t *testing.T, cfg Config, runner func(JobSpec, func() bool) (*Result, error)) *Server {
+	t.Helper()
+	cfg.runner = runner
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func waitState(t *testing.T, s *Server, id string) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return v
+}
+
+func TestPoolRunsJobsAndCaches(t *testing.T) {
+	var runs atomic.Int64
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, func(spec JobSpec, stop func() bool) (*Result, error) {
+		runs.Add(1)
+		return &Result{Text: fmt.Sprintf("seed %d", spec.Experiment.Seed), SimSeconds: 2}, nil
+	})
+	v1, err := s.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 = waitState(t, s, v1.ID)
+	if v1.State != StateSucceeded || v1.Cached || v1.Result == nil {
+		t.Fatalf("first run: %+v", v1)
+	}
+	if v1.Result.WallSeconds <= 0 {
+		t.Error("wall seconds not recorded")
+	}
+
+	// Identical re-submission: served from cache, no new execution.
+	v2, err := s.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.State != StateSucceeded || !v2.Cached {
+		t.Fatalf("re-submission not served from cache: %+v", v2)
+	}
+	if v2.Result == nil || v2.Result.Text != "seed 1" {
+		t.Fatalf("cached result wrong: %+v", v2.Result)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner executed %d times, want 1", got)
+	}
+	if v2.ID == v1.ID {
+		t.Error("cache hit should still mint a new job id")
+	}
+
+	// A different spec misses the cache.
+	v3, err := s.Submit(specN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitState(t, s, v3.ID).Cached {
+		t.Error("distinct spec reported cached")
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("runner executed %d times, want 2", got)
+	}
+}
+
+func TestPoolQueueFullReturnsErr(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2}, func(JobSpec, func() bool) (*Result, error) {
+		started <- struct{}{}
+		<-release
+		return &Result{}, nil
+	})
+	defer close(release)
+
+	// One running + two queued fill the service.
+	if _, err := s.Submit(specN(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds job 1; the queue is empty again
+	for i := int64(2); i <= 3; i++ {
+		if _, err := s.Submit(specN(i)); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(specN(4)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into full queue: err = %v, want ErrQueueFull", err)
+	}
+	st := s.snapshot()
+	if st.rejectedFull != 1 {
+		t.Errorf("rejectedFull = %d, want 1", st.rejectedFull)
+	}
+}
+
+func TestPoolConcurrentJobsInFlight(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	s := newTestServer(t, Config{Workers: workers, QueueDepth: 64}, func(JobSpec, func() bool) (*Result, error) {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+		inFlight.Add(-1)
+		return &Result{}, nil
+	})
+	var ids []string
+	for i := int64(1); i <= 12; i++ {
+		v, err := s.Submit(specN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		if v := waitState(t, s, id); v.State != StateSucceeded {
+			t.Fatalf("job %s: %+v", id, v)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency %d, want >= 2", peak.Load())
+	}
+	if peak.Load() > workers {
+		t.Errorf("peak concurrency %d exceeds pool size %d", peak.Load(), workers)
+	}
+}
+
+func TestPoolDeadlineCancelsJob(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, stop func() bool) (*Result, error) {
+		// Model the engine's stop-check polling loop.
+		for !stop() {
+			time.Sleep(time.Millisecond)
+		}
+		return nil, exp.ErrInterrupted
+	})
+	spec := specN(1)
+	spec.TimeoutSec = 0.05
+	v, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, s, v.ID)
+	if v.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", v.State)
+	}
+	if v.Error == "" {
+		t.Error("canceled job should carry an error message")
+	}
+	st := s.snapshot()
+	if st.canceled != 1 {
+		t.Errorf("canceled counter = %d, want 1", st.canceled)
+	}
+}
+
+func TestPoolClientCancel(t *testing.T) {
+	releaseQueued := make(chan struct{})
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, stop func() bool) (*Result, error) {
+		if spec.Experiment.Seed == 1 {
+			<-releaseQueued
+			return &Result{}, nil
+		}
+		for !stop() {
+			time.Sleep(time.Millisecond)
+		}
+		return nil, exp.ErrInterrupted
+	})
+	v1, _ := s.Submit(specN(1)) // occupies the worker
+	v2, _ := s.Submit(specN(2)) // waits in queue
+
+	// Cancel while queued: immediate.
+	cv, ok := s.Cancel(v2.ID)
+	if !ok || cv.State != StateCanceled {
+		t.Fatalf("cancel queued job: %+v (ok=%v)", cv, ok)
+	}
+	close(releaseQueued)
+	waitState(t, s, v1.ID)
+
+	// Cancel while running: the stop predicate fires.
+	v3, _ := s.Submit(specN(3))
+	for {
+		cur, _ := s.Get(v3.ID)
+		if cur.State == StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := s.Cancel(v3.ID); !ok {
+		t.Fatal("cancel running job: unknown id")
+	}
+	if v := waitState(t, s, v3.ID); v.State != StateCanceled {
+		t.Fatalf("running job after cancel: %+v", v)
+	}
+
+	// Unknown id.
+	if _, ok := s.Cancel("nope"); ok {
+		t.Error("cancel of unknown id reported ok")
+	}
+}
+
+func TestPoolShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	var finished atomic.Int64
+	cfg := Config{Workers: 1, QueueDepth: 4,
+		runner: func(JobSpec, func() bool) (*Result, error) {
+			<-release
+			finished.Add(1)
+			return &Result{}, nil
+		}}
+	s := New(cfg)
+	var ids []string
+	for i := int64(1); i <= 3; i++ {
+		v, err := s.Submit(specN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Draining servers reject new work...
+	for {
+		if s.Draining() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(specN(9)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	// ...but in-flight and queued jobs run to completion.
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := finished.Load(); got != 3 {
+		t.Errorf("finished %d jobs during drain, want 3", got)
+	}
+	for _, id := range ids {
+		v, ok := s.Get(id)
+		if !ok || v.State != StateSucceeded {
+			t.Errorf("job %s after drain: %+v", id, v)
+		}
+	}
+}
+
+func TestPoolShutdownForceCancelsOnContextExpiry(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4,
+		runner: func(spec JobSpec, stop func() bool) (*Result, error) {
+			for !stop() {
+				time.Sleep(time.Millisecond)
+			}
+			return nil, exp.ErrInterrupted
+		}})
+	v, err := s.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced shutdown err = %v, want DeadlineExceeded", err)
+	}
+	got, _ := s.Get(v.ID)
+	if got.State != StateCanceled {
+		t.Errorf("job after forced shutdown: %s, want canceled", got.State)
+	}
+}
+
+func TestPoolInvalidSpecRejected(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, func() bool) (*Result, error) {
+		return &Result{}, nil
+	})
+	_, err := s.Submit(JobSpec{Kind: "bogus"})
+	var invalid *InvalidSpecError
+	if !errors.As(err, &invalid) {
+		t.Fatalf("err = %v, want InvalidSpecError", err)
+	}
+	if st := s.snapshot(); st.rejectedInvalid != 1 {
+		t.Errorf("rejectedInvalid = %d, want 1", st.rejectedInvalid)
+	}
+}
+
+func TestPoolFailedJob(t *testing.T) {
+	boom := errors.New("boom")
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, func() bool) (*Result, error) {
+		return nil, boom
+	})
+	v, err := s.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = waitState(t, s, v.ID)
+	if v.State != StateFailed || v.Error != "boom" {
+		t.Fatalf("failed job view: %+v", v)
+	}
+	// Failures are not cached: a re-submission runs again.
+	v2, err := s.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Cached {
+		t.Error("failure was served from cache")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, CacheEntries: 2},
+		func(spec JobSpec, stop func() bool) (*Result, error) {
+			return &Result{Text: fmt.Sprint(spec.Experiment.Seed)}, nil
+		})
+	run := func(seed int64) { v, _ := s.Submit(specN(seed)); waitState(t, s, v.ID) }
+	run(1)
+	run(2)
+	run(3) // evicts seed 1
+	if st := s.snapshot(); st.cacheSize != 2 {
+		t.Fatalf("cache size = %d, want 2", st.cacheSize)
+	}
+	v, _ := s.Submit(specN(1))
+	if v.Cached {
+		t.Error("evicted entry served from cache")
+	}
+	waitState(t, s, v.ID)
+	if v2, _ := s.Submit(specN(3)); !v2.Cached {
+		t.Error("recent entry missing from cache")
+	}
+}
+
+func TestJobRecordPruning(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, MaxJobRecords: 3, CacheEntries: 1},
+		func(spec JobSpec, stop func() bool) (*Result, error) { return &Result{}, nil })
+	var last JobView
+	for i := int64(1); i <= 6; i++ {
+		v, err := s.Submit(specN(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = waitState(t, s, v.ID)
+	}
+	if got := len(s.List()); got != 3 {
+		t.Errorf("retained %d records, want 3", got)
+	}
+	if _, ok := s.Get(last.ID); !ok {
+		t.Error("newest record was pruned")
+	}
+	if _, ok := s.Get("j000001"); ok {
+		t.Error("oldest record survived pruning")
+	}
+}

@@ -1,0 +1,99 @@
+// Package server implements greendimmd's simulation service: a bounded
+// job queue feeding a worker pool, where each job is one deterministic
+// simulation (a paper experiment or a parameterized §6.3 VM-server
+// scenario) run on its own sim.Engine. Because identical specs always
+// produce identical results, finished jobs are cached content-addressed
+// by a canonical hash of the spec, and re-submissions are served without
+// re-running the engine.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"greendimm/internal/exp"
+)
+
+// Job kinds.
+const (
+	KindExperiment = "experiment" // one of the paper's tables/figures
+	KindVMServer   = "vmserver"   // parameterized §6.3 VM-consolidation run
+)
+
+// JobSpec is the wire form of one simulation job. Exactly one of
+// Experiment and VMServer must be set, matching Kind.
+type JobSpec struct {
+	Kind       string          `json:"kind"`
+	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+	VMServer   *exp.VMScenario `json:"vmserver,omitempty"`
+
+	// TimeoutSec bounds the job's wall-clock execution (0 = server
+	// default, capped at the server maximum). An execution knob, not
+	// part of the simulated world: it is excluded from the cache key.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// ExperimentSpec selects a registry experiment — the same ids and knobs
+// as `greendimm -experiment <id> [-quick] [-seed n]`.
+type ExperimentSpec struct {
+	ID    string `json:"id"`
+	Quick bool   `json:"quick,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// cacheKeySpec is the hashed portion of a spec: everything that
+// influences the simulation's output and nothing that doesn't.
+type cacheKeySpec struct {
+	Kind       string          `json:"kind"`
+	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+	VMServer   *exp.VMScenario `json:"vmserver,omitempty"`
+}
+
+// normalized validates the spec and returns it with defaults made
+// explicit, so equivalent submissions share one cache entry.
+func (s JobSpec) normalized() (JobSpec, error) {
+	if s.TimeoutSec < 0 {
+		return s, fmt.Errorf("timeout_sec %g must be >= 0", s.TimeoutSec)
+	}
+	switch s.Kind {
+	case KindExperiment:
+		if s.Experiment == nil || s.VMServer != nil {
+			return s, fmt.Errorf("kind %q requires the experiment payload and no vmserver payload", s.Kind)
+		}
+		e := *s.Experiment
+		if e.Seed == 0 {
+			e.Seed = 1 // the CLI's -seed default
+		}
+		if _, ok := exp.Registry()[e.ID]; !ok {
+			return s, fmt.Errorf("unknown experiment %q", e.ID)
+		}
+		s.Experiment = &e
+	case KindVMServer:
+		if s.VMServer == nil || s.Experiment != nil {
+			return s, fmt.Errorf("kind %q requires the vmserver payload and no experiment payload", s.Kind)
+		}
+		v := s.VMServer.Normalized()
+		if err := v.Validate(); err != nil {
+			return s, err
+		}
+		s.VMServer = &v
+	default:
+		return s, fmt.Errorf("unknown kind %q (want %q or %q)", s.Kind, KindExperiment, KindVMServer)
+	}
+	return s, nil
+}
+
+// hash returns the spec's content address: the hex SHA-256 of the
+// normalized spec's canonical JSON. Call on the normalized form;
+// encoding/json renders struct fields in declaration order, so the bytes
+// are deterministic.
+func (s JobSpec) hash() (string, error) {
+	b, err := json.Marshal(cacheKeySpec{Kind: s.Kind, Experiment: s.Experiment, VMServer: s.VMServer})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -44,6 +44,10 @@ type Engine struct {
 	queue   eventQueue
 	normal  int // count of queued non-daemon events
 	stopped bool
+
+	checkEvery int         // poll the stop check every this many events
+	checkIn    int         // events left until the next poll
+	stopCheck  func() bool // nil: no external cancellation
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -94,14 +98,67 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // executing now finishes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// DefaultStopCheckEvery is the polling stride SetStopCheck uses when the
+// caller passes every <= 0. It trades cancellation latency (a few thousand
+// events, microseconds of wall time) against predicate-call overhead on
+// the hot dispatch loop.
+const DefaultStopCheckEvery = 4096
+
+// SetStopCheck installs an external cancellation predicate: Run and
+// RunUntil poll stop every `every` executed events (and once on entry) and
+// return early — exactly as if Stop had been called — when it reports
+// true. The predicate must be cheap and may be called from the run loop
+// only, never concurrently with itself. every <= 0 selects
+// DefaultStopCheckEvery; a nil stop clears the hook.
+//
+// This is the hook long-running services use to impose deadlines on
+// otherwise-unbounded scenarios: the predicate typically closes over a
+// context.Context's Err. A run aborted this way leaves the engine state
+// (clock, queue) valid but the simulation incomplete; Interrupted reports
+// whether that happened.
+func (e *Engine) SetStopCheck(every int, stop func() bool) {
+	if every <= 0 {
+		every = DefaultStopCheckEvery
+	}
+	e.checkEvery = every
+	e.checkIn = 0
+	e.stopCheck = stop
+}
+
+// Interrupted reports whether the most recent Run or RunUntil returned
+// early because of Stop or the SetStopCheck predicate rather than by
+// exhausting its work.
+func (e *Engine) Interrupted() bool { return e.stopped }
+
+// interrupted polls the external stop check on its stride and folds the
+// answer into e.stopped. Called once per loop iteration.
+func (e *Engine) interrupted() bool {
+	if e.stopped {
+		return true
+	}
+	if e.stopCheck == nil {
+		return false
+	}
+	if e.checkIn > 0 {
+		e.checkIn--
+		return false
+	}
+	e.checkIn = e.checkEvery - 1
+	if e.stopCheck() {
+		e.stopped = true
+	}
+	return e.stopped
+}
+
 // RunUntil executes events in time order until the queue is empty or the
 // next event is later than deadline. The clock is left at the time of the
 // last executed event (or at deadline if it advanced past all events).
 // It returns the number of events executed.
 func (e *Engine) RunUntil(deadline Time) int {
 	e.stopped = false
+	e.checkIn = 0
 	n := 0
-	for len(e.queue) > 0 && !e.stopped {
+	for len(e.queue) > 0 && !e.interrupted() {
 		next := e.queue[0]
 		if next.at > deadline {
 			break
@@ -126,8 +183,9 @@ func (e *Engine) RunUntil(deadline Time) int {
 // It returns the number of events executed.
 func (e *Engine) Run() int {
 	e.stopped = false
+	e.checkIn = 0
 	n := 0
-	for e.normal > 0 && !e.stopped {
+	for e.normal > 0 && !e.interrupted() {
 		ev := heap.Pop(&e.queue).(*Event)
 		if !ev.daemon {
 			e.normal--

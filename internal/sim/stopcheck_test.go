@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+// chain schedules a self-rescheduling event that runs n times, 1ns apart.
+func chain(e *Engine, n int) {
+	var step func()
+	left := n
+	step = func() {
+		left--
+		if left > 0 {
+			e.After(Nanosecond, step)
+		}
+	}
+	e.After(Nanosecond, step)
+}
+
+func TestStopCheckAbortsRun(t *testing.T) {
+	e := NewEngine()
+	chain(e, 10000)
+	polls := 0
+	e.SetStopCheck(100, func() bool {
+		polls++
+		return polls >= 3
+	})
+	ran := e.Run()
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() = false after stop-check abort")
+	}
+	// The predicate is polled on entry and then every 100 events: the
+	// third poll happens after 200 events executed.
+	if ran != 200 {
+		t.Errorf("ran %d events, want 200", ran)
+	}
+	if polls != 3 {
+		t.Errorf("predicate polled %d times, want 3", polls)
+	}
+	if e.Pending() == 0 {
+		t.Error("aborted run should leave the chain queued")
+	}
+}
+
+func TestStopCheckAbortsRunUntil(t *testing.T) {
+	e := NewEngine()
+	chain(e, 10000)
+	n := 0
+	e.SetStopCheck(1, func() bool { n++; return n > 50 })
+	ran := e.RunUntil(Second)
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() = false after stop-check abort")
+	}
+	if ran != 50 {
+		t.Errorf("ran %d events, want 50", ran)
+	}
+	if e.Now() >= Second {
+		t.Errorf("aborted RunUntil advanced clock to deadline (%v)", e.Now())
+	}
+}
+
+func TestStopCheckAlreadyCanceledRunsNothing(t *testing.T) {
+	e := NewEngine()
+	chain(e, 100)
+	e.SetStopCheck(0, func() bool { return true })
+	if ran := e.Run(); ran != 0 {
+		t.Errorf("ran %d events with a pre-canceled check, want 0", ran)
+	}
+	if !e.Interrupted() {
+		t.Error("Interrupted() = false")
+	}
+}
+
+func TestStopCheckFalseIsTransparent(t *testing.T) {
+	run := func(install bool) (int, Time) {
+		e := NewEngine()
+		chain(e, 1000)
+		if install {
+			e.SetStopCheck(7, func() bool { return false })
+		}
+		n := e.Run()
+		return n, e.Now()
+	}
+	n0, t0 := run(false)
+	n1, t1 := run(true)
+	if n0 != n1 || t0 != t1 {
+		t.Errorf("stop check perturbed the run: (%d, %v) vs (%d, %v)", n0, t0, n1, t1)
+	}
+	if n0 != 1000 {
+		t.Errorf("chain ran %d events, want 1000", n0)
+	}
+}
+
+func TestStopCheckClearedByNil(t *testing.T) {
+	e := NewEngine()
+	chain(e, 100)
+	e.SetStopCheck(1, func() bool { return true })
+	e.SetStopCheck(1, nil)
+	if ran := e.Run(); ran != 100 {
+		t.Errorf("ran %d events after clearing the check, want 100", ran)
+	}
+	if e.Interrupted() {
+		t.Error("Interrupted() = true after a full run")
+	}
+}
+
+func TestStopCheckReusableAfterAbort(t *testing.T) {
+	e := NewEngine()
+	chain(e, 100)
+	stop := true
+	e.SetStopCheck(1, func() bool { return stop })
+	if ran := e.Run(); ran != 0 {
+		t.Fatalf("first run executed %d events, want 0", ran)
+	}
+	stop = false
+	if ran := e.Run(); ran != 100 {
+		t.Errorf("resumed run executed %d events, want 100", ran)
+	}
+	if e.Interrupted() {
+		t.Error("Interrupted() = true after a completed resume")
+	}
+}
