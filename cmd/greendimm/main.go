@@ -22,19 +22,24 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
-		quick  = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		which    = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
+		quick    = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines per experiment (0 = all CPUs, 1 = serial; output is identical either way)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "-parallel must be >= 0")
+		os.Exit(2)
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	opts := exp.Options{Quick: *quick, Seed: *seed}
+	opts := exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 
 	experiments := exp.Registry()
 	ids := []string{*which}

@@ -36,6 +36,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Hour, "ceiling on client-requested deadlines")
 		grace      = flag.Duration("grace", 2*time.Minute, "drain window for in-flight jobs on shutdown")
 		maxRecords = flag.Int("max-records", 4096, "finished job records to retain")
+		cpuBudget  = flag.Int("cpu-budget", runtime.GOMAXPROCS(0), "goroutine budget shared by workers and per-job sweep parallelism")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxJobRecords:  *maxRecords,
+		CPUBudget:      *cpuBudget,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -95,13 +95,24 @@ func newHotplug(mem *kernel.Mem, seed int64) (hpManager, error) {
 // ablateNeighborRule: the §6.1 sense-amp-sharing constraint costs some
 // deep-power-down coverage for the same off-lined capacity.
 func ablateNeighborRule(opts Options) (*report.Table, error) {
+	rules := []bool{false, true}
+	daemons := make([]*core.Daemon, len(rules))
+	err := opts.sweepCells(len(rules), func(i int, h Hooks) error {
+		rule := rules[i]
+		d, err := dynAblation(opts.cellOptions(h), func(c *core.Config) { c.NeighborRule = rule })
+		if err != nil {
+			return err
+		}
+		daemons[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Ablation: neighbor rule (gcc, 120s)",
 		"offlined GB", "avg DPD frac", "groups entered")
-	for _, rule := range []bool{false, true} {
-		d, err := dynAblation(opts, func(c *core.Config) { c.NeighborRule = rule })
-		if err != nil {
-			return nil, err
-		}
+	for i, rule := range rules {
+		d := daemons[i]
 		label := "without rule"
 		if rule {
 			label = "with rule"
@@ -117,16 +128,27 @@ func ablateNeighborRule(opts Options) (*report.Table, error) {
 // ablateThresholds: off_thr trades off-lined capacity against the risk of
 // memory pressure (the paper observed thrashing below 10%).
 func ablateThresholds(opts Options) (*report.Table, error) {
-	t := report.NewTable("Ablation: off_thr reserve (gcc, 120s)",
-		"offlined GB", "onlines", "events")
-	for _, thr := range []float64{0.05, 0.10, 0.20} {
-		d, err := dynAblation(opts, func(c *core.Config) {
+	thrs := []float64{0.05, 0.10, 0.20}
+	daemons := make([]*core.Daemon, len(thrs))
+	err := opts.sweepCells(len(thrs), func(i int, h Hooks) error {
+		thr := thrs[i]
+		d, err := dynAblation(opts.cellOptions(h), func(c *core.Config) {
 			c.OffThr = thr
 			c.OnThr = thr - 0.02
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		daemons[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: off_thr reserve (gcc, 120s)",
+		"offlined GB", "onlines", "events")
+	for i, thr := range thrs {
+		d := daemons[i]
 		st := d.Stats()
 		t.AddRow(fmt.Sprintf("off_thr %.0f%%", thr*100),
 			float64(d.OfflinedBytes())/float64(1<<30),
@@ -139,14 +161,24 @@ func ablateThresholds(opts Options) (*report.Table, error) {
 // ablateGroupSize: finer sub-array groups turn the same off-lined bytes
 // into more deep-power-down coverage (less quantization loss).
 func ablateGroupSize(opts Options) (*report.Table, error) {
+	sizes := []int64{512, 1024, 2048}
+	daemons := make([]*core.Daemon, len(sizes))
+	err := opts.sweepCells(len(sizes), func(i int, h Hooks) error {
+		groupMB := sizes[i]
+		d, err := dynAblation(opts.cellOptions(h), func(c *core.Config) { c.GroupBytes = groupMB << 20 })
+		if err != nil {
+			return err
+		}
+		daemons[i] = d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Ablation: sub-array group size (gcc, 120s)",
 		"groups", "avg DPD frac")
-	for _, groupMB := range []int64{512, 1024, 2048} {
-		d, err := dynAblation(opts, func(c *core.Config) { c.GroupBytes = groupMB << 20 })
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%dMB", groupMB), float64(d.Groups()), d.AvgDPDFraction())
+	for i, groupMB := range sizes {
+		t.AddRow(fmt.Sprintf("%dMB", groupMB), float64(daemons[i].Groups()), daemons[i].AvgDPDFraction())
 	}
 	return t, nil
 }
@@ -180,25 +212,32 @@ func ablateDPDResidual() (*report.Table, error) {
 // small-footprint contiguous workload — the §1 tension: aggressive
 // management sleeps more but pays more wake-ups and latency.
 func ablateIdlePolicy(opts Options) (*report.Table, error) {
-	t := report.NewTable("Ablation: rank idle policy (contiguous mapping, sparse traffic)",
-		"sr frac", "wakeups", "avg lat ns")
 	type pol struct {
 		name   string
 		pd, sr sim.Time
 	}
-	for _, p := range []pol{
+	pols := []pol{
 		{"aggressive (0.2us/4us)", 200 * sim.Nanosecond, 4 * sim.Microsecond},
 		{"default (1us/64us)", sim.Microsecond, 64 * sim.Microsecond},
 		{"conservative (10us/1ms)", 10 * sim.Microsecond, sim.Millisecond},
-	} {
-		eng := opts.newEngine()
+	}
+	type polOut struct {
+		srFrac  float64
+		wakeups int64
+		avgLat  float64
+	}
+	outs := make([]polOut, len(pols))
+	err := opts.sweepCells(len(pols), func(i int, h Hooks) error {
+		p := pols[i]
+		cellOpts := opts.cellOptions(h)
+		eng := cellOpts.newEngine()
 		ctrl, err := mc.New(eng, mc.Config{
 			Org: dram.Org64GB(), Timing: dram.DDR4_2133(),
 			Interleaved: false, LowPower: true,
 			PowerDownAfter: p.pd, SelfRefreshAfter: p.sr,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g := sim.NewRNG(opts.Seed + 9)
 		footprint := uint64(256 << 20)
@@ -223,7 +262,16 @@ func ablateIdlePolicy(opts Options) (*report.Table, error) {
 		if n > 0 {
 			avg = (totalLat / sim.Time(n)).Nanoseconds()
 		}
-		t.AddRow(p.name, ctrl.SelfRefreshFraction(), float64(ctrl.Stats().WakeUps), avg)
+		outs[i] = polOut{srFrac: ctrl.SelfRefreshFraction(), wakeups: ctrl.Stats().WakeUps, avgLat: avg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Ablation: rank idle policy (contiguous mapping, sparse traffic)",
+		"sr frac", "wakeups", "avg lat ns")
+	for i, p := range pols {
+		t.AddRow(p.name, outs[i].srFrac, float64(outs[i].wakeups), outs[i].avgLat)
 	}
 	return t, nil
 }

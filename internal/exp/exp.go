@@ -9,9 +9,22 @@
 // runs for anything timing-sensitive, and 1-second epoch runs for the
 // 24-hour VM-trace studies. Every experiment takes Options so tests can
 // run a Quick variant with identical structure.
+//
+// Every matrix-shaped experiment walks its workload x mapping x policy
+// cells through Options.sweepCells (internal/sweep): cells are
+// share-nothing deterministic simulations seeded independently of
+// execution order, results land at their input index, and reports are
+// rendered only after the sweep joins — so a run at Parallelism 8 is
+// byte-identical to the serial run. See DESIGN.md §"Parallel sweeps".
 package exp
 
-import "greendimm/internal/sim"
+import (
+	"runtime"
+	"sync"
+
+	"greendimm/internal/sim"
+	"greendimm/internal/sweep"
+)
 
 // Options scales an experiment.
 type Options struct {
@@ -19,6 +32,13 @@ type Options struct {
 	// keep their shape but carry more noise.
 	Quick bool
 	Seed  int64
+
+	// Parallelism bounds how many of an experiment's independent
+	// simulation cells run concurrently: 0 selects runtime.NumCPU(), 1
+	// forces the serial walk. Pure execution knob — results are
+	// byte-identical at every setting — so, like Hooks, it is excluded
+	// from serialized job specs.
+	Parallelism int `json:"-"`
 
 	// Hooks carries run instrumentation (cancellation, engine
 	// observation). It never influences results — only whether and how
@@ -30,15 +50,26 @@ type Options struct {
 // and interrupt an experiment without perturbing its determinism.
 type Hooks struct {
 	// Stop, when non-nil, is polled from every engine's event loop (at
-	// sim.DefaultStopCheckEvery stride). Returning true aborts the run
-	// early; the experiment then returns partial, meaningless results,
+	// sim.DefaultStopCheckEvery stride) and between sweep cells.
+	// Returning true aborts the run early; the experiment then returns
+	// an error (sweep-driven runners) or partial, meaningless results,
 	// so callers that installed Stop must discard them (greendimmd
-	// checks its job context and reports the job canceled).
+	// checks its job context and reports the job canceled). Because a
+	// parallel sweep's engines poll the predicate from concurrent event
+	// loops, it must be safe to call concurrently with itself whenever
+	// Parallelism != 1.
 	Stop func() bool
-	// Observe, when non-nil, sees every engine the experiment creates,
-	// in creation order — used to meter simulated time against wall
-	// time.
+	// Observe, when non-nil, sees every engine the experiment creates —
+	// used to meter simulated time against wall time. Calls are always
+	// serialized (sweepCells wraps Observe in a mutex before handing
+	// hooks to concurrent cells), but under a parallel sweep their order
+	// follows cell scheduling, not a fixed creation order.
 	Observe func(*sim.Engine)
+	// Limiter, when non-nil, is a shared machine-wide budget for sweep
+	// workers beyond each sweep's first. greendimmd installs one limiter
+	// across all jobs so per-job parallelism and the worker pool compose
+	// instead of oversubscribing workers x NumCPU goroutines.
+	Limiter *sweep.Limiter
 }
 
 // newEngine builds an experiment engine with the hooks installed. All
@@ -57,6 +88,50 @@ func (h Hooks) newEngine() *sim.Engine {
 
 // newEngine builds the experiment's engine with o's hooks installed.
 func (o Options) newEngine() *sim.Engine { return o.Hooks.newEngine() }
+
+// parallelism resolves the effective sweep width.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// sweepCells runs n independent simulation cells, at most o.parallelism()
+// at a time, honoring o.Hooks cancellation and the shared Limiter. Each
+// cell receives hooks derived from o.Hooks whose Observe callback is
+// serialized, keeping the caller's single-threaded Observe contract even
+// when cells create engines concurrently.
+//
+// Determinism contract (every caller must hold to it): a cell reads only
+// shared-immutable inputs plus its index, seeds its own engines from
+// constants and o.Seed, and writes only slot i of pre-sized output
+// slices. Rendering happens after sweepCells returns. Under those rules
+// the output is byte-identical at every parallelism level.
+func (o Options) sweepCells(n int, cell func(i int, h Hooks) error) error {
+	h := o.Hooks
+	if h.Observe != nil {
+		var mu sync.Mutex
+		obs := h.Observe
+		h.Observe = func(e *sim.Engine) {
+			mu.Lock()
+			defer mu.Unlock()
+			obs(e)
+		}
+	}
+	return sweep.Run(n, sweep.Config{
+		Parallelism: o.parallelism(),
+		Stop:        h.Stop,
+		Limiter:     h.Limiter,
+	}, func(i int) error { return cell(i, h) })
+}
+
+// cellOptions returns o with the per-cell hooks substituted, for cells
+// whose body calls helpers that take Options.
+func (o Options) cellOptions(h Hooks) Options {
+	o.Hooks = h
+	return o
+}
 
 // accessBudget picks the per-core number of DRAM accesses for detailed
 // runs.

@@ -48,31 +48,39 @@ type BlockSizeResult struct {
 }
 
 // RunBlockSizeSweep reproduces Figs. 6/7 and Table 2 in one pass: the six
-// §5.1 applications at 128/256/512MB memory blocks.
+// §5.1 applications at 128/256/512MB memory blocks. The full (app, block
+// size) matrix is flattened into one sweep — 18 independent dynamics
+// cells — and reassembled in row-major (app, size) order.
 func RunBlockSizeSweep(opts Options) (BlockSizeResult, error) {
 	apps, err := specDynApps()
 	if err != nil {
 		return BlockSizeResult{}, err
 	}
-	var res BlockSizeResult
-	for _, prof := range apps {
-		for _, blockMB := range []int64{128, 256, 512} {
-			run, err := runDynamics(blockDynDefaults(prof, blockMB, opts))
-			if err != nil {
-				return BlockSizeResult{}, fmt.Errorf("%s/%dMB: %w", prof.Name, blockMB, err)
-			}
-			res.Cells = append(res.Cells, BlockSizeCell{
-				App:         prof.Name,
-				BlockMB:     blockMB,
-				OfflinedGB:  run.OfflinedAvgBytes / float64(1<<30),
-				OverheadPct: run.OverheadFrac * 100,
-				OnOffEvents: run.OnOffEvents,
-				Offlines:    run.Offlines,
-				Onlines:     run.Onlines,
-			})
+	sizes := []int64{128, 256, 512}
+	cells := make([]BlockSizeCell, len(apps)*len(sizes))
+	err = opts.sweepCells(len(cells), func(i int, h Hooks) error {
+		prof, blockMB := apps[i/len(sizes)], sizes[i%len(sizes)]
+		cfg := blockDynDefaults(prof, blockMB, opts)
+		cfg.hooks = h
+		run, err := runDynamics(cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%dMB: %w", prof.Name, blockMB, err)
 		}
+		cells[i] = BlockSizeCell{
+			App:         prof.Name,
+			BlockMB:     blockMB,
+			OfflinedGB:  run.OfflinedAvgBytes / float64(1<<30),
+			OverheadPct: run.OverheadFrac * 100,
+			OnOffEvents: run.OnOffEvents,
+			Offlines:    run.Offlines,
+			Onlines:     run.Onlines,
+		}
+		return nil
+	})
+	if err != nil {
+		return BlockSizeResult{}, err
 	}
-	return res, nil
+	return BlockSizeResult{Cells: cells}, nil
 }
 
 // cellsFor collects one app's three block sizes in order.
@@ -154,19 +162,26 @@ func RunTable3(opts Options) (Table3Result, error) {
 	if !ok {
 		return Table3Result{}, fmt.Errorf("exp: mcf missing")
 	}
-	okCfg := blockDynDefaults(prof, 128, opts)
-	okRun, err := runDynamics(okCfg)
+	var runs [2]DynamicsRun
+	err := opts.sweepCells(2, func(i int, h Hooks) error {
+		cfg := blockDynDefaults(prof, 128, opts)
+		cfg.hooks = h
+		if i == 1 {
+			cfg.policy = core.SelectRandom
+			cfg.failProb = 0.9
+			cfg.leakEvery = 3
+		}
+		run, err := runDynamics(cfg)
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		return nil
+	})
 	if err != nil {
 		return Table3Result{}, err
 	}
-	failCfg := blockDynDefaults(prof, 128, opts)
-	failCfg.policy = core.SelectRandom
-	failCfg.failProb = 0.9
-	failCfg.leakEvery = 3
-	failRun, err := runDynamics(failCfg)
-	if err != nil {
-		return Table3Result{}, err
-	}
+	okRun, failRun := runs[0], runs[1]
 	return Table3Result{
 		OfflineMs: okRun.OfflineLatMeanMs,
 		OnlineMs:  okRun.OnlineLatMeanMs,
@@ -202,33 +217,41 @@ type Fig8Result struct {
 }
 
 // RunFig8 reproduces Fig. 8: the number of off-lining failures when
-// blocks are chosen randomly vs removable-first.
+// blocks are chosen randomly vs removable-first. The (app, policy) matrix
+// is flattened into one sweep of independent cells.
 func RunFig8(opts Options) (Fig8Result, error) {
 	apps, err := specDynApps()
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	var res Fig8Result
-	for _, prof := range apps {
-		row := Fig8Row{App: prof.Name}
-		for _, policy := range []core.SelectPolicy{core.SelectRandom, core.SelectRemovableFirst} {
-			cfg := blockDynDefaults(prof, 128, opts)
-			cfg.policy = policy
-			cfg.failProb = 0.9
-			cfg.leakEvery = 3
-			run, err := runDynamics(cfg)
-			if err != nil {
-				return Fig8Result{}, err
-			}
-			if policy == core.SelectRandom {
-				row.RandomFailures = run.EBusyFailures + run.EAgainFailures
-				row.RandomEAgain = run.EAgainFailures
-			} else {
-				row.RemovableFailures = run.EBusyFailures + run.EAgainFailures
-				row.RemovableEAgain = run.EAgainFailures
-			}
+	policies := []core.SelectPolicy{core.SelectRandom, core.SelectRemovableFirst}
+	runs := make([]DynamicsRun, len(apps)*len(policies))
+	err = opts.sweepCells(len(runs), func(i int, h Hooks) error {
+		cfg := blockDynDefaults(apps[i/len(policies)], 128, opts)
+		cfg.hooks = h
+		cfg.policy = policies[i%len(policies)]
+		cfg.failProb = 0.9
+		cfg.leakEvery = 3
+		run, err := runDynamics(cfg)
+		if err != nil {
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	var res Fig8Result
+	for a, prof := range apps {
+		rnd, rem := runs[a*len(policies)], runs[a*len(policies)+1]
+		res.Rows = append(res.Rows, Fig8Row{
+			App:               prof.Name,
+			RandomFailures:    rnd.EBusyFailures + rnd.EAgainFailures,
+			RandomEAgain:      rnd.EAgainFailures,
+			RemovableFailures: rem.EBusyFailures + rem.EAgainFailures,
+			RemovableEAgain:   rem.EAgainFailures,
+		})
 	}
 	return res, nil
 }

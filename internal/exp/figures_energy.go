@@ -49,63 +49,81 @@ func evalApps() []workload.Profile {
 // runs the detailed simulator with and without interleaving, models
 // RAMZzz/PASR from the occupancy scan (as the paper does), and runs the
 // GreenDIMM dynamics pass for the deep-power-down fraction and overhead.
+// The per-workload cells are independent (each builds its own engines and
+// is seeded from constants), so they fan out across the sweep pool; rows
+// land in workload order regardless of which cell finishes first.
 func RunEnergyMatrix(opts Options) (EnergyResult, error) {
 	model, err := power.NewModel(dram.Org64GB())
 	if err != nil {
 		return EnergyResult{}, err
 	}
 	sys := power.DefaultSystem()
-	var res EnergyResult
-	for _, prof := range evalApps() {
-		row := EnergyRow{App: prof.Name, LatencyCritical: prof.LatencyCritical}
-
-		// GreenDIMM dynamics: whole memory off-linable; memory blocks
-		// sized to the 64GB machine's 1GB sub-array groups (§4.1), and
-		// the footprint scaled to the multiprogrammed degree the timing
-		// run uses.
-		dynProf := prof
-		dynProf.FootprintMB *= int64(copiesFor(prof))
-		if dynProf.FootprintMB > 48<<10 {
-			dynProf.FootprintMB = 48 << 10
+	apps := evalApps()
+	rows := make([]EnergyRow, len(apps))
+	err = opts.sweepCells(len(apps), func(i int, h Hooks) error {
+		row, err := energyRow(model, sys, apps[i], opts, h)
+		if err != nil {
+			return err
 		}
-		dyn, err := runDynamics(dynamicsConfig{
-			prof:     dynProf,
-			blockMB:  1024,
-			duration: 120 * sim.Second, // cheap: no request-level simulation
-			policy:   core.SelectFreeFirst,
-			seed:     opts.Seed + 41,
-			hooks:    opts.Hooks,
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return EnergyResult{}, err
+	}
+	return EnergyResult{Rows: rows}, nil
+}
+
+// energyRow computes one workload's full Figs. 9/10/11 measurement: the
+// dynamics pass plus both mappings' detailed timing runs.
+func energyRow(model *power.Model, sys power.SystemModel, prof workload.Profile, opts Options, h Hooks) (EnergyRow, error) {
+	row := EnergyRow{App: prof.Name, LatencyCritical: prof.LatencyCritical}
+
+	// GreenDIMM dynamics: whole memory off-linable; memory blocks
+	// sized to the 64GB machine's 1GB sub-array groups (§4.1), and
+	// the footprint scaled to the multiprogrammed degree the timing
+	// run uses.
+	dynProf := prof
+	dynProf.FootprintMB *= int64(copiesFor(prof))
+	if dynProf.FootprintMB > 48<<10 {
+		dynProf.FootprintMB = 48 << 10
+	}
+	dyn, err := runDynamics(dynamicsConfig{
+		prof:     dynProf,
+		blockMB:  1024,
+		duration: 120 * sim.Second, // cheap: no request-level simulation
+		policy:   core.SelectFreeFirst,
+		seed:     opts.Seed + 41,
+		hooks:    h,
+	})
+	if err != nil {
+		return EnergyRow{}, fmt.Errorf("%s dynamics: %w", prof.Name, err)
+	}
+	row.OverheadPct = dyn.OverheadFrac * 100
+
+	for _, intlv := range []bool{true, false} {
+		run, err := runTiming(timingConfig{
+			prof:        prof,
+			interleaved: intlv,
+			copies:      copiesFor(prof),
+			accesses:    opts.accessBudget(25000),
+			seed:        opts.Seed + 42,
+			hooks:       h,
 		})
 		if err != nil {
-			return EnergyResult{}, fmt.Errorf("%s dynamics: %w", prof.Name, err)
+			return EnergyRow{}, fmt.Errorf("%s timing: %w", prof.Name, err)
 		}
-		row.OverheadPct = dyn.OverheadFrac * 100
-
-		for _, intlv := range []bool{true, false} {
-			run, err := runTiming(timingConfig{
-				prof:        prof,
-				interleaved: intlv,
-				copies:      copiesFor(prof),
-				accesses:    opts.accessBudget(25000),
-				seed:        opts.Seed + 42,
-				hooks:       opts.Hooks,
-			})
-			if err != nil {
-				return EnergyResult{}, fmt.Errorf("%s timing: %w", prof.Name, err)
-			}
-			pe, se, err := policyEnergies(model, sys, run, dyn)
-			if err != nil {
-				return EnergyResult{}, err
-			}
-			if intlv {
-				row.DRAM.Intlv, row.System.Intlv = pe, se
-			} else {
-				row.DRAM.Contig, row.System.Contig = pe, se
-			}
+		pe, se, err := policyEnergies(model, sys, run, dyn)
+		if err != nil {
+			return EnergyRow{}, err
 		}
-		res.Rows = append(res.Rows, row)
+		if intlv {
+			row.DRAM.Intlv, row.System.Intlv = pe, se
+		} else {
+			row.DRAM.Contig, row.System.Contig = pe, se
+		}
 	}
-	return res, nil
+	return row, nil
 }
 
 // policyEnergies computes DRAM and system energy for the four policies

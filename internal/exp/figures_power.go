@@ -116,41 +116,48 @@ type Fig3Result struct {
 }
 
 // RunFig3 reproduces Fig. 3 with the high-MPKI SPEC CPU2006 programs.
+// Each program is one sweep cell (its two mappings run back-to-back on
+// the cell's own engines); rows come back in SPEC2006 order.
 func RunFig3(opts Options) (Fig3Result, error) {
-	var res Fig3Result
 	sys := power.DefaultSystem()
 	model, err := power.NewModel(dram.Org64GB())
 	if err != nil {
 		return Fig3Result{}, err
 	}
+	var profs []workload.Profile
 	for _, prof := range workload.SPEC2006() {
-		if !prof.HighMPKI() {
-			continue
+		if prof.HighMPKI() {
+			profs = append(profs, prof)
 		}
+	}
+	rows := make([]Fig3Row, len(profs))
+	err = opts.sweepCells(len(profs), func(i int, h Hooks) error {
+		prof := profs[i]
 		var runs [2]TimingRun
-		for i, intlv := range []bool{true, false} {
-			runs[i], err = runTiming(timingConfig{
+		for j, intlv := range []bool{true, false} {
+			var err error
+			runs[j], err = runTiming(timingConfig{
 				prof:        prof,
 				interleaved: intlv,
 				copies:      copiesFor(prof),
 				accesses:    opts.accessBudget(30000),
 				seed:        opts.Seed + 21,
-				hooks:       opts.Hooks,
+				hooks:       h,
 			})
 			if err != nil {
-				return Fig3Result{}, err
+				return err
 			}
 		}
 		wi, wo := runs[0], runs[1]
 		dramWi, err := dramPowerW(model, wi.Activity)
 		if err != nil {
-			return Fig3Result{}, err
+			return err
 		}
 		dramWo, err := dramPowerW(model, wo.Activity)
 		if err != nil {
-			return Fig3Result{}, err
+			return err
 		}
-		row := Fig3Row{
+		rows[i] = Fig3Row{
 			App:           prof.Name,
 			Speedup:       float64(wo.Runtime) / float64(wi.Runtime),
 			SRFracIntlv:   wi.SelfRefFrac,
@@ -160,9 +167,12 @@ func RunFig3(opts Options) (Fig3Result, error) {
 			SystemIntlvJ:  sys.SystemW(wi.CPUUtil, dramWi) * wi.Runtime.Seconds(),
 			SystemContigJ: sys.SystemW(wo.CPUUtil, dramWo) * wo.Runtime.Seconds(),
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return Fig3Result{}, err
 	}
-	return res, nil
+	return Fig3Result{Rows: rows}, nil
 }
 
 // Table renders Fig. 3's three panels as columns.

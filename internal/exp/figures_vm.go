@@ -15,18 +15,17 @@ type Fig1Result struct {
 	WithKSM VMDayResult
 }
 
-// RunFig1 reproduces Fig. 1.
+// RunFig1 reproduces Fig. 1. The two 24-hour traces (with and without
+// KSM) are independent sweep cells.
 func RunFig1(opts Options) (Fig1Result, error) {
 	horizon := opts.horizon(24 * sim.Hour)
-	no, err := runVMDay(vmDayConfig{horizon: horizon, seed: opts.Seed + 1, hooks: opts.Hooks})
+	days, err := runVMDayPair(opts, func(withKSM bool) vmDayConfig {
+		return vmDayConfig{withKSM: withKSM, horizon: horizon, seed: opts.Seed + 1}
+	})
 	if err != nil {
 		return Fig1Result{}, err
 	}
-	with, err := runVMDay(vmDayConfig{withKSM: true, horizon: horizon, seed: opts.Seed + 1, hooks: opts.Hooks})
-	if err != nil {
-		return Fig1Result{}, err
-	}
-	return Fig1Result{NoKSM: no, WithKSM: with}, nil
+	return Fig1Result{NoKSM: days[0], WithKSM: days[1]}, nil
 }
 
 // Table renders the Fig. 1 summary rows.
@@ -118,18 +117,17 @@ type Fig12Result struct {
 	Blocks  int // total 1GB blocks (256)
 }
 
-// RunFig12 reproduces Fig. 12 (and §6.3's block-count statistics).
+// RunFig12 reproduces Fig. 12 (and §6.3's block-count statistics). The
+// two traced days run as independent sweep cells.
 func RunFig12(opts Options) (Fig12Result, error) {
 	horizon := opts.horizon(24 * sim.Hour)
-	no, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
+	days, err := runVMDayPair(opts, func(withKSM bool) vmDayConfig {
+		return vmDayConfig{withGreenDIMM: true, withKSM: withKSM, horizon: horizon, seed: opts.Seed + 2}
+	})
 	if err != nil {
 		return Fig12Result{}, err
 	}
-	with, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
-	if err != nil {
-		return Fig12Result{}, err
-	}
-	return Fig12Result{NoKSM: no, WithKSM: with, Blocks: 256}, nil
+	return Fig12Result{NoKSM: days[0], WithKSM: days[1], Blocks: 256}, nil
 }
 
 // Table renders the Fig. 12 summary.
@@ -181,14 +179,13 @@ func RunFig13(opts Options) (Fig13Result, error) {
 	// The paper derives Fig. 13 from the same measured 256GB day as
 	// Fig. 12; use the same trace seed.
 	horizon := opts.horizon(24 * sim.Hour)
-	day, err := runVMDay(vmDayConfig{withGreenDIMM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
+	days, err := runVMDayPair(opts, func(withKSM bool) vmDayConfig {
+		return vmDayConfig{withGreenDIMM: true, withKSM: withKSM, horizon: horizon, seed: opts.Seed + 2}
+	})
 	if err != nil {
 		return Fig13Result{}, err
 	}
-	dayKSM, err := runVMDay(vmDayConfig{withGreenDIMM: true, withKSM: true, horizon: horizon, seed: opts.Seed + 2, hooks: opts.Hooks})
-	if err != nil {
-		return Fig13Result{}, err
-	}
+	day, dayKSM := days[0], days[1]
 	// The paper's "simple linear model" scales the measured 256GB day to
 	// larger machines with utilization held as a FRACTION of capacity (a
 	// proportionally larger consolidated load), so the off-linable share

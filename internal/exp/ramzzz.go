@@ -28,19 +28,23 @@ type RAMZzzResult struct {
 	Rows []RAMZzzRow
 }
 
-// RunRAMZzz executes the four-cell comparison.
+// RunRAMZzz executes the four-cell comparison, one sweep cell per
+// (mapping, daemon) combination.
 func RunRAMZzz(opts Options) (RAMZzzResult, error) {
-	var res RAMZzzResult
-	for _, interleaved := range []bool{false, true} {
-		for _, withDaemon := range []bool{false, true} {
-			row, err := runRAMZzzCell(interleaved, withDaemon, opts)
-			if err != nil {
-				return RAMZzzResult{}, err
-			}
-			res.Rows = append(res.Rows, row)
+	rows := make([]RAMZzzRow, 4)
+	err := opts.sweepCells(len(rows), func(i int, h Hooks) error {
+		interleaved, withDaemon := i/2 == 1, i%2 == 1
+		row, err := runRAMZzzCell(interleaved, withDaemon, opts.cellOptions(h))
+		if err != nil {
+			return err
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return RAMZzzResult{}, err
 	}
-	return res, nil
+	return RAMZzzResult{Rows: rows}, nil
 }
 
 func runRAMZzzCell(interleaved, withDaemon bool, opts Options) (RAMZzzRow, error) {

@@ -37,22 +37,32 @@ type SwapThrResult struct {
 const swapCostPerPage = 330 * sim.Microsecond
 
 // RunSwapThreshold sweeps off_thr under a bursty footprint, plus the
-// adaptive "+ alpha" policy over a tight 2% base.
+// adaptive "+ alpha" policy over a tight 2% base. The five settings run
+// as independent sweep cells.
 func RunSwapThreshold(opts Options) (SwapThrResult, error) {
-	var res SwapThrResult
-	for _, thr := range []float64{0.02, 0.05, 0.10, 0.20} {
-		row, err := runSwapCell(thr, false, opts)
+	settings := []struct {
+		thr      float64
+		adaptive bool
+	}{
+		{0.02, false}, {0.05, false}, {0.10, false}, {0.20, false}, {0.02, true},
+	}
+	rows := make([]SwapThrRow, len(settings))
+	err := opts.sweepCells(len(settings), func(i int, h Hooks) error {
+		s := settings[i]
+		row, err := runSwapCell(s.thr, s.adaptive, opts.cellOptions(h))
 		if err != nil {
-			return SwapThrResult{}, fmt.Errorf("off_thr %.2f: %w", thr, err)
+			if s.adaptive {
+				return fmt.Errorf("adaptive: %w", err)
+			}
+			return fmt.Errorf("off_thr %.2f: %w", s.thr, err)
 		}
-		res.Rows = append(res.Rows, row)
-	}
-	row, err := runSwapCell(0.02, true, opts)
+		rows[i] = row
+		return nil
+	})
 	if err != nil {
-		return SwapThrResult{}, fmt.Errorf("adaptive: %w", err)
+		return SwapThrResult{}, err
 	}
-	res.Rows = append(res.Rows, row)
-	return res, nil
+	return SwapThrResult{Rows: rows}, nil
 }
 
 func runSwapCell(offThr float64, adaptive bool, opts Options) (SwapThrRow, error) {

@@ -36,28 +36,46 @@ type TailResult struct {
 // without a live GreenDIMM daemon sharing the machine, and compares
 // response-time percentiles. This is the repository's fullest integration
 // run: workload, controller, kernel, hotplug and daemon all in one
-// simulation.
+// simulation. The (service, with/without daemon) matrix is flattened into
+// one sweep of independent cells.
 func RunTailLatency(opts Options) (TailResult, error) {
-	var res TailResult
+	var profs []workload.Profile
 	for _, prof := range workload.Datacenter() {
-		if !prof.LatencyCritical {
-			continue
+		if prof.LatencyCritical {
+			profs = append(profs, prof)
 		}
-		base, _, err := runService(prof, false, opts)
+	}
+	type cellOut struct {
+		stats  tailStats
+		events int64
+	}
+	cells := make([]cellOut, 2*len(profs))
+	err := opts.sweepCells(len(cells), func(i int, h Hooks) error {
+		prof, withDaemon := profs[i/2], i%2 == 1
+		st, events, err := runService(prof, withDaemon, opts.cellOptions(h))
 		if err != nil {
-			return TailResult{}, fmt.Errorf("%s base: %w", prof.Name, err)
+			mode := "base"
+			if withDaemon {
+				mode = "greendimm"
+			}
+			return fmt.Errorf("%s %s: %w", prof.Name, mode, err)
 		}
-		gd, events, err := runService(prof, true, opts)
-		if err != nil {
-			return TailResult{}, fmt.Errorf("%s greendimm: %w", prof.Name, err)
-		}
+		cells[i] = cellOut{stats: st, events: events}
+		return nil
+	})
+	if err != nil {
+		return TailResult{}, err
+	}
+	var res TailResult
+	for i, prof := range profs {
+		base, gd := cells[2*i], cells[2*i+1]
 		res.Rows = append(res.Rows, TailRow{
 			App:          prof.Name,
-			BaseP95us:    base.Percentile95,
-			BaseP99us:    base.Percentile99,
-			GDP95us:      gd.Percentile95,
-			GDP99us:      gd.Percentile99,
-			DaemonEvents: events,
+			BaseP95us:    base.stats.Percentile95,
+			BaseP99us:    base.stats.Percentile99,
+			GDP95us:      gd.stats.Percentile95,
+			GDP99us:      gd.stats.Percentile99,
+			DaemonEvents: gd.events,
 		})
 	}
 	return res, nil

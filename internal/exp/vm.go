@@ -57,6 +57,23 @@ func runVMDay(cfg vmDayConfig) (VMDayResult, error) {
 	}, cfg.hooks)
 }
 
+// runVMDayPair runs the without-KSM / with-KSM day pair every VM figure
+// compares, as two independent sweep cells. days[0] is without KSM.
+func runVMDayPair(opts Options, mk func(withKSM bool) vmDayConfig) ([2]VMDayResult, error) {
+	var days [2]VMDayResult
+	err := opts.sweepCells(2, func(i int, h Hooks) error {
+		cfg := mk(i == 1)
+		cfg.hooks = h
+		day, err := runVMDay(cfg)
+		if err != nil {
+			return err
+		}
+		days[i] = day
+		return nil
+	})
+	return days, err
+}
+
 // hostCPUUtil folds ksmd's scan cost into the host utilization.
 func hostCPUUtil(h *vmtrace.Host, ksmd *ksm.Daemon) float64 {
 	u := h.AvgCPUUtil()

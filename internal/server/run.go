@@ -3,10 +3,12 @@ package server
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"greendimm/internal/exp"
 	"greendimm/internal/report"
 	"greendimm/internal/sim"
+	"greendimm/internal/sweep"
 )
 
 // Result is the output of one executed job: the experiment's tables and
@@ -30,13 +32,26 @@ type Result struct {
 // runSpec executes a normalized spec. stop is polled from the engines'
 // event loops; when it reports true the run aborts and runSpec's result
 // must be discarded (the pool checks its job context, which is what stop
-// watches). Deterministic: the same spec always yields the same Tables,
-// Series, VMDay and Text.
-func runSpec(spec JobSpec, stop func() bool) (*Result, error) {
+// watches). limiter (nil = unbounded) gates any extra sweep workers the
+// job's parallelism requests, so per-job fan-out and the worker pool
+// share one CPU budget. Deterministic: the same spec always yields the
+// same Tables, Series, VMDay and Text, at every parallelism.
+func runSpec(spec JobSpec, stop func() bool, limiter *sweep.Limiter) (*Result, error) {
+	// Observe is called from concurrent sweep cells when parallelism > 1.
+	var mu sync.Mutex
 	var engines []*sim.Engine
 	hooks := exp.Hooks{
-		Stop:    stop,
-		Observe: func(e *sim.Engine) { engines = append(engines, e) },
+		Stop: stop,
+		Observe: func(e *sim.Engine) {
+			mu.Lock()
+			engines = append(engines, e)
+			mu.Unlock()
+		},
+		Limiter: limiter,
+	}
+	parallelism := spec.Parallelism
+	if parallelism == 0 {
+		parallelism = 1 // serial inside the job; the pool parallelizes across jobs
 	}
 	res := &Result{}
 	switch spec.Kind {
@@ -46,9 +61,10 @@ func runSpec(spec JobSpec, stop func() bool) (*Result, error) {
 			return nil, fmt.Errorf("unknown experiment %q", spec.Experiment.ID)
 		}
 		tables, series, err := fn(exp.Options{
-			Quick: spec.Experiment.Quick,
-			Seed:  spec.Experiment.Seed,
-			Hooks: hooks,
+			Quick:       spec.Experiment.Quick,
+			Seed:        spec.Experiment.Seed,
+			Parallelism: parallelism,
+			Hooks:       hooks,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+
+	"greendimm/internal/sweep"
+)
+
+// TestRunSpecParallelMatchesSerial is the service-level determinism
+// check: the same experiment spec must render byte-identical text
+// whether the job sweeps serially or fans out under the shared CPU
+// budget — which is why parallelism can be excluded from the cache key.
+func TestRunSpecParallelMatchesSerial(t *testing.T) {
+	mk := func(par int) JobSpec {
+		spec := JobSpec{
+			Kind:        KindExperiment,
+			Experiment:  &ExperimentSpec{ID: "ramzzz", Quick: true, Seed: 1},
+			Parallelism: par,
+		}
+		norm, err := spec.normalized()
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		return norm
+	}
+	never := func() bool { return false }
+	serial, err := runSpec(mk(0), never, nil)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := runSpec(mk(8), never, sweep.NewLimiter(8))
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial.Text != parallel.Text {
+		t.Errorf("parallel text differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.Text, parallel.Text)
+	}
+	// A zero-slot budget must still make progress (each job's own worker
+	// never needs a slot).
+	starved, err := runSpec(mk(8), never, sweep.NewLimiter(0))
+	if err != nil {
+		t.Fatalf("starved run: %v", err)
+	}
+	if starved.Text != serial.Text {
+		t.Error("zero-budget parallel run differs from serial")
+	}
+}

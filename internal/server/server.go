@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"greendimm/internal/sweep"
 )
 
 // Submit errors; the HTTP layer maps them onto statuses (429, 503, 400).
@@ -59,6 +61,14 @@ type Config struct {
 	// MaxJobRecords bounds the in-memory job table: beyond it, the
 	// oldest terminal records are forgotten (default 4096).
 	MaxJobRecords int
+	// CPUBudget is the total goroutine budget shared by the worker pool
+	// and per-job sweep parallelism (default GOMAXPROCS). Each running
+	// job always gets its own worker; any CPUBudget - Workers surplus
+	// forms a shared slot pool that jobs requesting parallelism > 1
+	// borrow extra sweep workers from. With the defaults (Workers ==
+	// CPUBudget == GOMAXPROCS) there is no surplus and jobs degrade to
+	// serial sweeps — the pool is already using every core.
+	CPUBudget int
 
 	// runner is the execution function — a test seam; nil means
 	// runSpec (the real simulator).
@@ -84,8 +94,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobRecords <= 0 {
 		c.MaxJobRecords = 4096
 	}
+	if c.CPUBudget <= 0 {
+		c.CPUBudget = runtime.GOMAXPROCS(0)
+	}
 	if c.runner == nil {
-		c.runner = runSpec
+		// Extra sweep workers (beyond each job's own pool worker) draw
+		// from the budget left over after the worker pool is staffed.
+		limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
+		c.runner = func(spec JobSpec, stop func() bool) (*Result, error) {
+			return runSpec(spec, stop, limiter)
+		}
 	}
 	return c
 }

@@ -33,7 +33,20 @@ type JobSpec struct {
 	// default, capped at the server maximum). An execution knob, not
 	// part of the simulated world: it is excluded from the cache key.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Parallelism caps the fan-out of the job's internal experiment
+	// sweeps (0 = serial, the default: the worker pool already
+	// parallelizes across jobs). Extra sweep workers beyond the job's
+	// own worker only run when the server's CPU budget has free slots,
+	// so requesting a high value cannot oversubscribe the machine.
+	// Sweep results are byte-identical at every parallelism, so — like
+	// TimeoutSec — this is an execution knob excluded from the cache
+	// key: specs differing only here share one cache entry.
+	Parallelism int `json:"parallelism,omitempty"`
 }
+
+// MaxJobParallelism bounds the per-job sweep fan-out a spec may request.
+const MaxJobParallelism = 64
 
 // ExperimentSpec selects a registry experiment — the same ids and knobs
 // as `greendimm -experiment <id> [-quick] [-seed n]`.
@@ -56,6 +69,9 @@ type cacheKeySpec struct {
 func (s JobSpec) normalized() (JobSpec, error) {
 	if s.TimeoutSec < 0 {
 		return s, fmt.Errorf("timeout_sec %g must be >= 0", s.TimeoutSec)
+	}
+	if s.Parallelism < 0 || s.Parallelism > MaxJobParallelism {
+		return s, fmt.Errorf("parallelism %d must be in [0, %d]", s.Parallelism, MaxJobParallelism)
 	}
 	switch s.Kind {
 	case KindExperiment:

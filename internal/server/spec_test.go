@@ -36,6 +36,13 @@ func TestSpecHashCanonicalization(t *testing.T) {
 	if mustHash(t, implicit) != mustHash(t, timed) {
 		t.Error("timeout_sec changed the cache key")
 	}
+	// Neither is the sweep parallelism: results are byte-identical at
+	// every fan-out, so specs differing only here share a cache entry.
+	par := implicit
+	par.Parallelism = 8
+	if mustHash(t, implicit) != mustHash(t, par) {
+		t.Error("parallelism changed the cache key")
+	}
 	// Anything that changes the simulation changes the key.
 	other := JobSpec{Kind: KindVMServer, VMServer: &exp.VMScenario{GreenDIMM: true, Seed: 7}}
 	if mustHash(t, implicit) == mustHash(t, other) {
@@ -62,6 +69,8 @@ func TestSpecExperimentDefaultsAndValidation(t *testing.T) {
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{BlockMB: 999}},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: "bogus"}},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, TimeoutSec: -1},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: -1},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: MaxJobParallelism + 1},
 	}
 	for _, spec := range bad {
 		if _, err := spec.normalized(); err == nil {

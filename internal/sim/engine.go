@@ -1,14 +1,15 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a callback scheduled to run at a particular simulated time.
 // Events scheduled for the same time run in scheduling order (stable).
 // Daemon events (periodic refresh, idle timers) do not keep Run alive:
 // Run returns once only daemon events remain.
+//
+// Event objects are owned by the engine and recycled through a free list
+// once dispatched, so steady-state scheduling (the self-rescheduling
+// timer pattern every model here uses) allocates nothing per event.
 type Event struct {
 	at     Time
 	seq    uint64
@@ -16,33 +17,19 @@ type Event struct {
 	daemon bool
 }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
 // Engine is a deterministic discrete-event simulation engine.
 // The zero value is not usable; call NewEngine.
+//
+// The event queue is a hand-rolled binary min-heap over (at, seq) rather
+// than container/heap: the interface indirection and any-boxing of the
+// stdlib heap cost real time on the dispatch path, which executes tens of
+// millions of events per experiment sweep.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
-	normal  int // count of queued non-daemon events
+	queue   []*Event
+	free    []*Event // dispatched events awaiting reuse
+	normal  int      // count of queued non-daemon events
 	stopped bool
 
 	checkEvery int         // poll the stop check every this many events
@@ -52,9 +39,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now reports the current simulated time.
@@ -88,7 +73,79 @@ func (e *Engine) push(at Time, fn func(), daemon bool) {
 	if !daemon {
 		e.normal++
 	}
-	heap.Push(&e.queue, &Event{at: at, seq: e.seq, fn: fn, daemon: daemon})
+	var ev *Event
+	if k := len(e.free) - 1; k >= 0 {
+		ev = e.free[k]
+		e.free[k] = nil
+		e.free = e.free[:k]
+		ev.at, ev.seq, ev.fn, ev.daemon = at, e.seq, fn, daemon
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+	}
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// less orders the heap by time, then scheduling order.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			return
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *Event {
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return ev
+}
+
+// recycle returns a dispatched event to the free list. The callback
+// reference is dropped so the closure (and whatever it captures) is
+// released even if the event idles on the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Pending reports the number of queued events.
@@ -107,9 +164,11 @@ const DefaultStopCheckEvery = 4096
 // SetStopCheck installs an external cancellation predicate: Run and
 // RunUntil poll stop every `every` executed events (and once on entry) and
 // return early — exactly as if Stop had been called — when it reports
-// true. The predicate must be cheap and may be called from the run loop
-// only, never concurrently with itself. every <= 0 selects
-// DefaultStopCheckEvery; a nil stop clears the hook.
+// true. The predicate must be cheap and may be called from this engine's
+// run loop only; when several engines share one predicate (a parallel
+// experiment sweep polling one job context), it must be safe to call
+// concurrently with itself. every <= 0 selects DefaultStopCheckEvery; a
+// nil stop clears the hook.
 //
 // This is the hook long-running services use to impose deadlines on
 // otherwise-unbounded scenarios: the predicate typically closes over a
@@ -159,16 +218,17 @@ func (e *Engine) RunUntil(deadline Time) int {
 	e.checkIn = 0
 	n := 0
 	for len(e.queue) > 0 && !e.interrupted() {
-		next := e.queue[0]
-		if next.at > deadline {
+		if e.queue[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.queue)
-		if !next.daemon {
+		ev := e.popMin()
+		if !ev.daemon {
 			e.normal--
 		}
-		e.now = next.at
-		next.fn()
+		e.now = ev.at
+		fn := ev.fn
+		e.recycle(ev) // before fn: a schedule inside fn reuses the slot
+		fn()
 		n++
 	}
 	if e.now < deadline && !e.stopped {
@@ -186,12 +246,14 @@ func (e *Engine) Run() int {
 	e.checkIn = 0
 	n := 0
 	for e.normal > 0 && !e.interrupted() {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.popMin()
 		if !ev.daemon {
 			e.normal--
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		n++
 	}
 	return n

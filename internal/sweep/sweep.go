@@ -1,0 +1,192 @@
+// Package sweep fans independent simulation cells out over a bounded
+// goroutine pool. Every experiment in internal/exp is a matrix walk —
+// workload x mapping x policy — whose cells are fully independent
+// deterministic simulations, so the only requirements on a parallel
+// executor are that (a) each cell runs exactly once, (b) results land at
+// the cell's input index so reports reassemble in input order, and (c)
+// the error a caller sees is the same one the serial walk would have
+// returned. Run provides exactly that contract; callers keep results
+// deterministic by writing cell i's output into slot i of a pre-sized
+// slice and rendering only after Run returns.
+//
+// Concurrency budgeting: Run itself never uses more than
+// Config.Parallelism goroutines, and when several Runs execute at once
+// (the greendimmd worker pool runs one sweep per job), a shared Limiter
+// caps the machine-wide total so jobs compose instead of oversubscribing
+// workers x NumCPU goroutines. The calling goroutine always participates
+// as a worker, so a sweep makes progress even when the shared budget is
+// exhausted.
+package sweep
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrStopped reports that Config.Stop ended a sweep before every cell
+// ran. The caller's partial results are incomplete and must be discarded
+// — the same contract as an engine run aborted by a stop check.
+var ErrStopped = errors.New("sweep: stopped before all cells ran")
+
+// Limiter is a machine-wide budget for extra sweep workers, shared by
+// every concurrently-running sweep. A nil *Limiter imposes no budget.
+// The zero Limiter (or NewLimiter with n <= 0) grants nothing: sweeps
+// holding it run on their calling goroutine alone.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a budget of n extra workers across all sweeps that
+// share it. n <= 0 yields a budget that always declines.
+func NewLimiter(n int) *Limiter {
+	l := &Limiter{}
+	if n > 0 {
+		l.slots = make(chan struct{}, n)
+	}
+	return l
+}
+
+// TryAcquire claims one worker slot without blocking.
+func (l *Limiter) TryAcquire() bool {
+	if l == nil {
+		return true
+	}
+	if l.slots == nil {
+		return false
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (l *Limiter) Release() {
+	if l == nil || l.slots == nil {
+		return
+	}
+	select {
+	case <-l.slots:
+	default:
+		panic("sweep: Release without matching TryAcquire")
+	}
+}
+
+// Config controls one Run.
+type Config struct {
+	// Parallelism is the maximum number of concurrently-executing cells.
+	// <= 0 selects runtime.NumCPU(); 1 runs the cells serially on the
+	// calling goroutine with no synchronization at all.
+	Parallelism int
+	// Stop, when non-nil, is polled before each cell is handed out; once
+	// it reports true no further cells start and Run returns ErrStopped
+	// (in-flight cells finish first — aborting *inside* a cell is the
+	// cell's own job, via its engine's stop check). Under parallelism the
+	// predicate is called from multiple goroutines, one claim at a time
+	// (calls are serialized by the dispatch lock), but it must still be
+	// safe to call concurrently with itself because the engines inside
+	// in-flight cells poll the same predicate from their event loops.
+	Stop func() bool
+	// Limiter, when non-nil, gates every worker beyond the first against
+	// a shared machine-wide budget. Slots are claimed when the sweep
+	// starts and released as its workers exit.
+	Limiter *Limiter
+}
+
+// Run executes cell(i) exactly once for every i in [0, n), using up to
+// cfg.Parallelism concurrent goroutines (the caller's included), and
+// returns after all started cells have finished.
+//
+// Error contract: after any cell fails, no new cells start; Run then
+// returns the error of the lowest-indexed failed cell. Because cells are
+// handed out in index order, that is exactly the error the serial walk
+// would have returned — a cell with a smaller index than a failed cell
+// either ran (and its error, if any, wins) or is the failed cell itself.
+// If cfg.Stop ended the sweep instead, Run returns ErrStopped.
+func Run(n int, cfg Config, cell func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	if p > n {
+		p = n
+	}
+	if p == 1 && cfg.Stop == nil {
+		// Pure serial fast path: byte-for-byte the pre-sweep behavior.
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		failed  bool
+		stopped bool
+		errs    = make([]error, n)
+	)
+	// claim hands out the next cell index, in order. Serializing the Stop
+	// poll under mu keeps between-cell cancellation checks one-at-a-time.
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || stopped || next >= n {
+			return 0, false
+		}
+		if cfg.Stop != nil && cfg.Stop() {
+			stopped = true
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	work := func() {
+		for {
+			i, ok := claim()
+			if !ok {
+				return
+			}
+			if err := cell(i); err != nil {
+				mu.Lock()
+				errs[i] = err
+				failed = true
+				mu.Unlock()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		if !cfg.Limiter.TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cfg.Limiter.Release()
+			work()
+		}()
+	}
+	work() // the calling goroutine is worker 0: progress needs no budget
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if stopped {
+		return ErrStopped
+	}
+	return nil
+}

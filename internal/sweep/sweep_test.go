@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryCellOnce checks the exactly-once contract at several
+// parallelism levels, including parallelism wider than the cell count.
+func TestRunCoversEveryCellOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var counts [n]int32
+		err := Run(n, Config{Parallelism: p}, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: cell %d ran %d times", p, i, c)
+			}
+		}
+	}
+}
+
+// TestRunResultsLandAtInputIndex is the determinism contract: cell i's
+// output lands in slot i regardless of execution interleaving.
+func TestRunResultsLandAtInputIndex(t *testing.T) {
+	const n = 256
+	out := make([]int, n)
+	if err := Run(n, Config{Parallelism: 8}, func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+}
+
+// TestRunReturnsLowestIndexedError checks that the reported error matches
+// the serial walk's: the lowest-indexed failing cell wins, even when a
+// higher-indexed cell fails first in wall time.
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	const n = 64
+	errAt := func(i int) error { return fmt.Errorf("cell %d failed", i) }
+	for _, p := range []int{1, 4, 16} {
+		err := Run(n, Config{Parallelism: p}, func(i int) error {
+			if i == 10 || i == 40 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 10 failed" {
+			t.Fatalf("p=%d: got %v, want cell 10's error", p, err)
+		}
+	}
+}
+
+// TestRunErrorStopsNewCells checks that cells stop being handed out after
+// a failure (in-flight cells may still finish).
+func TestRunErrorStopsNewCells(t *testing.T) {
+	const n = 1000
+	var ran int32
+	err := Run(n, Config{Parallelism: 1}, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 5 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := atomic.LoadInt32(&ran); got != 6 {
+		t.Fatalf("ran %d cells after serial failure at index 5, want 6", got)
+	}
+}
+
+// TestRunStop checks the cancellation path: once Stop reports true no new
+// cells start and Run returns ErrStopped.
+func TestRunStop(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		var ran int32
+		stopAfter := int32(7)
+		err := Run(1000, Config{
+			Parallelism: p,
+			Stop:        func() bool { return atomic.LoadInt32(&ran) >= stopAfter },
+		}, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("p=%d: got %v, want ErrStopped", p, err)
+		}
+		if got := atomic.LoadInt32(&ran); got >= 1000 {
+			t.Fatalf("p=%d: stop ignored, all cells ran", p)
+		}
+	}
+}
+
+// TestRunStopBeforeStart: a stop that is already true runs nothing.
+func TestRunStopBeforeStart(t *testing.T) {
+	var ran int32
+	err := Run(10, Config{Parallelism: 4, Stop: func() bool { return true }}, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("got %v, want ErrStopped", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d cells ran under an immediate stop", ran)
+	}
+}
+
+// TestLimiterBoundsExtraWorkers: with a zero budget the sweep degrades to
+// the calling goroutine; with a budget of k it uses at most k+1 workers.
+func TestLimiterBoundsExtraWorkers(t *testing.T) {
+	for _, budget := range []int{0, 2} {
+		lim := NewLimiter(budget)
+		var cur, peak int32
+		var mu sync.Mutex
+		err := Run(64, Config{Parallelism: 16, Limiter: lim}, func(i int) error {
+			c := atomic.AddInt32(&cur, 1)
+			mu.Lock()
+			if c > peak {
+				peak = c
+			}
+			mu.Unlock()
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(peak) > budget+1 {
+			t.Fatalf("budget %d: observed %d concurrent cells", budget, peak)
+		}
+	}
+}
+
+// TestLimiterReleasesSlots: a sweep returns its budget, so a following
+// sweep can claim it again.
+func TestLimiterReleasesSlots(t *testing.T) {
+	lim := NewLimiter(3)
+	for round := 0; round < 4; round++ {
+		if err := Run(8, Config{Parallelism: 4, Limiter: lim}, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All slots must be free again.
+	for i := 0; i < 3; i++ {
+		if !lim.TryAcquire() {
+			t.Fatalf("slot %d not released", i)
+		}
+	}
+	if lim.TryAcquire() {
+		t.Fatal("limiter grants beyond its budget")
+	}
+	for i := 0; i < 3; i++ {
+		lim.Release()
+	}
+}
+
+// TestNilLimiter: a nil limiter means no shared budget.
+func TestNilLimiter(t *testing.T) {
+	var lim *Limiter
+	if !lim.TryAcquire() {
+		t.Fatal("nil limiter must grant")
+	}
+	lim.Release() // must not panic
+	if err := Run(16, Config{Parallelism: 8, Limiter: nil}, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunZeroCells: n <= 0 is a no-op.
+func TestRunZeroCells(t *testing.T) {
+	if err := Run(0, Config{}, func(i int) error { t.Fatal("cell ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

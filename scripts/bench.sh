@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Benchmark snapshot: run every benchmark once in quick mode and write a
+# JSON file mapping benchmark name -> metrics, for before/after
+# comparisons of the event engine and sweep work.
+#
+# Usage: scripts/bench.sh [output.json]
+#   Default output: BENCH_<git-short-rev>.json in the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+out="${1:-BENCH_${rev}.json}"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench=. -benchtime=1x (GREENDIMM_QUICK=1)"
+GREENDIMM_QUICK=1 go test -run '^$' -bench=. -benchtime=1x -benchmem ./... | tee "$raw"
+
+# Benchmark output lines look like:
+#   BenchmarkEngineDispatchChain-8  1  14.71 ns/op  0 B/op  0 allocs/op
+# Everything after the iteration count is value/unit pairs.
+awk -v rev="$rev" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9\/]/, "", unit)
+        gsub(/\//, "_per_", unit)
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" unit "\": " $i
+    }
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"iterations\": %s, %s}", name, iters, metrics
+}
+END {
+    if (n == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "\n"
+}' "$raw" > "$raw.body"
+
+{
+    printf '{\n  "rev": "%s",\n  "quick": true,\n  "benchtime": "1x",\n  "benchmarks": {\n' "$rev"
+    cat "$raw.body"
+    printf '  }\n}\n'
+} > "$out"
+rm -f "$raw.body"
+
+echo "==> wrote $out"

@@ -19,6 +19,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "==> go test -race (parallel sweep determinism)"
+# The sweep layer and its exp/server consumers are the concurrency
+# surface; exercise their tests under the race detector explicitly so a
+# narrowed "$@" (e.g. -run) can't skip them.
+GREENDIMM_QUICK=1 go test -race ./internal/sweep/
+GREENDIMM_QUICK=1 go test -race -run 'Sweep|Parallel|Determinism' \
+    ./internal/exp/ ./internal/server/
+
 echo "==> go test -race ./..."
 go test -race "$@" ./...
 
