@@ -67,26 +67,40 @@ func main() {
 		*hours, host.AvgUsedFrac()*100, len(host.Samples()), len(host.Types()))
 }
 
-func openOut(path string) (*os.File, func(), error) {
+// openOut opens the CSV destination. The returned close function must
+// be error-checked: an os.Create'd file whose buffered data fails to
+// reach disk at Close would otherwise truncate the export silently.
+func openOut(path string) (*os.File, func() error, error) {
 	if path == "" {
-		return os.Stdout, func() {}, nil
+		return os.Stdout, func() error { return nil }, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	return f, f.Close, nil
+}
+
+// finishCSV flushes the writer and closes the destination, surfacing
+// whichever error happens first so the caller exits non-zero instead of
+// leaving a truncated file behind.
+func finishCSV(w *csv.Writer, closeFn func() error) error {
+	w.Flush()
+	if err := w.Error(); err != nil {
+		_ = closeFn()
+		return err
+	}
+	return closeFn()
 }
 
 func writeTypes(path string, types []vmtrace.VMType) error {
-	f, done, err := openOut(path)
+	f, closeFn, err := openOut(path)
 	if err != nil {
 		return err
 	}
-	defer done()
 	w := csv.NewWriter(f)
-	defer w.Flush()
 	if err := w.Write([]string{"vcpus", "mem_gb", "mean_life_s", "cpu_util", "image", "common_frac", "weight"}); err != nil {
+		_ = closeFn()
 		return err
 	}
 	for _, ty := range types {
@@ -100,21 +114,21 @@ func writeTypes(path string, types []vmtrace.VMType) error {
 			strconv.FormatFloat(ty.Weight, 'f', 3, 64),
 		}
 		if err := w.Write(rec); err != nil {
+			_ = closeFn()
 			return err
 		}
 	}
-	return w.Error()
+	return finishCSV(w, closeFn)
 }
 
 func writeSamples(path string, samples []vmtrace.Sample) error {
-	f, done, err := openOut(path)
+	f, closeFn, err := openOut(path)
 	if err != nil {
 		return err
 	}
-	defer done()
 	w := csv.NewWriter(f)
-	defer w.Flush()
 	if err := w.Write([]string{"hour", "used_frac", "cpu_util", "running_vms", "ksm_saved_gb"}); err != nil {
+		_ = closeFn()
 		return err
 	}
 	for _, s := range samples {
@@ -126,8 +140,9 @@ func writeSamples(path string, samples []vmtrace.Sample) error {
 			strconv.FormatFloat(float64(s.KSMSaved)/float64(1<<30), 'f', 2, 64),
 		}
 		if err := w.Write(rec); err != nil {
+			_ = closeFn()
 			return err
 		}
 	}
-	return w.Error()
+	return finishCSV(w, closeFn)
 }

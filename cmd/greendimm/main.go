@@ -5,28 +5,45 @@
 //
 //	greendimm -experiment fig12            # one experiment
 //	greendimm -experiment all -quick       # everything, reduced horizons
+//	greendimm -spec jobs.json              # run a JSON job-spec file
+//	greendimm -experiment all -backends http://a:8080,http://b:8080
+//
+// With -backends, jobs are dispatched across the given greendimmd
+// daemons (internal/cluster): health-aware routing, retries with
+// backoff, optional hedging of stragglers, and in-process fallback when
+// every backend is down. Results are byte-identical to local runs — the
+// dispatcher verifies this whenever a spec executes more than once.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"greendimm/internal/cluster"
 	"greendimm/internal/exp"
 	"greendimm/internal/report"
+	"greendimm/internal/server"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
-		quick    = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "sweep worker goroutines per experiment (0 = all CPUs, 1 = serial; output is identical either way)")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		which      = flag.String("experiment", "all", "experiment id (fig1..fig13, tab1..tab3, all)")
+		quick      = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		parallel   = flag.Int("parallel", 0, "sweep worker goroutines per experiment (0 = all CPUs, 1 = serial; output is identical either way)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		specFile   = flag.String("spec", "", "run a JSON job-spec file (one spec object or an array) instead of -experiment")
+		backends   = flag.String("backends", "", "comma-separated greendimmd base URLs; jobs run remotely with routing, retries and hedging (in-process fallback if all are down)")
+		hedgeAfter = flag.Duration("hedge-after", 30*time.Second, "with -backends: duplicate an unfinished job onto a second backend after this long (0 disables hedging)")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -39,26 +56,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	opts := exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 
-	experiments := exp.Registry()
-	ids := []string{*which}
-	if *which == "all" {
-		// Deduplicate the aliases that share one run.
-		ids = exp.CanonicalExperiments()
+	switch {
+	case *specFile != "":
+		specs, err := loadSpecs(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runSpecs(specLabels(specs), specs, *backends, *hedgeAfter, *csvDir)
+	case *backends != "":
+		labels, specs := experimentSpecs(*which, *quick, *seed, *parallel)
+		runSpecs(labels, specs, *backends, *hedgeAfter, *csvDir)
+	default:
+		runLocalRegistry(*which, exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}, *csvDir)
 	}
-	seen := map[string]bool{}
-	sort.Strings(ids)
-	for _, id := range ids {
+}
+
+// runLocalRegistry is the classic in-process path: each experiment runs
+// on this machine's registry runner.
+func runLocalRegistry(which string, opts exp.Options, csvDir string) {
+	experiments := exp.Registry()
+	for _, id := range experimentIDs(which) {
 		fn, ok := experiments[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, known())
 			os.Exit(2)
 		}
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
 		fmt.Printf("=== %s ===\n", id)
 		tables, series, err := fn(opts)
 		if err != nil {
@@ -67,12 +91,9 @@ func main() {
 		}
 		for ti, t := range tables {
 			fmt.Println(t)
-			if *csvDir != "" && t.Rows() > 0 {
-				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%d.csv", id, ti))
-				if err := writeCSV(path, t); err != nil {
-					fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-					os.Exit(1)
-				}
+			if err := maybeCSV(csvDir, id, ti, t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 		}
 		for _, s := range series {
@@ -80,6 +101,154 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runSpecs executes job specs — remotely when backends are given, else
+// in-process via server.Execute — and prints each report the way the
+// local path does.
+func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAfter time.Duration, csvDir string) {
+	var results []*server.Result
+	if backends != "" {
+		urls := splitURLs(backends)
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "-backends is set but holds no URLs")
+			os.Exit(2)
+		}
+		pool := cluster.NewPool(urls, cluster.PoolConfig{})
+		pool.Start()
+		defer pool.Stop()
+		d := cluster.NewDispatcher(pool, cluster.Options{HedgeAfter: hedgeAfter})
+		var err error
+		results, err = d.Run(context.Background(), specs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c := d.Counters()
+		fmt.Fprintf(os.Stderr, "cluster: %d submitted, %d retries, %d failovers, %d hedges (%d won), %d local\n",
+			c.Submitted, c.Retries, c.Failovers, c.Hedges, c.HedgeWins, c.LocalRuns)
+	} else {
+		for i, spec := range specs {
+			res, err := server.Execute(spec, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", labels[i], err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+		}
+	}
+	for i, res := range results {
+		fmt.Printf("=== %s ===\n", labels[i])
+		fmt.Print(res.Text)
+		fmt.Println()
+		for ti, t := range res.Tables {
+			if err := maybeCSV(csvDir, labels[i], ti, t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// experimentIDs resolves -experiment to a sorted, deduplicated id list.
+func experimentIDs(which string) []string {
+	ids := []string{which}
+	if which == "all" {
+		ids = exp.CanonicalExperiments() // deduplicate the aliases that share one run
+	}
+	sort.Strings(ids)
+	out := ids[:0]
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// experimentSpecs turns the CLI's experiment selection into job specs.
+func experimentSpecs(which string, quick bool, seed int64, parallel int) ([]string, []server.JobSpec) {
+	experiments := exp.Registry()
+	var labels []string
+	var specs []server.JobSpec
+	for _, id := range experimentIDs(which) {
+		if _, ok := experiments[id]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, known())
+			os.Exit(2)
+		}
+		if parallel > server.MaxJobParallelism {
+			parallel = server.MaxJobParallelism
+		}
+		labels = append(labels, id)
+		specs = append(specs, server.JobSpec{
+			Kind:        server.KindExperiment,
+			Experiment:  &server.ExperimentSpec{ID: id, Quick: quick, Seed: seed},
+			Parallelism: parallel,
+		})
+	}
+	return labels, specs
+}
+
+// loadSpecs reads a spec file holding one JSON spec object or an array.
+func loadSpecs(path string) ([]server.JobSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []server.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&list); err == nil {
+		return list, nil
+	}
+	var one server.JobSpec
+	dec = json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&one); err != nil {
+		return nil, fmt.Errorf("%s: neither a spec array nor a spec object: %v", path, err)
+	}
+	return []server.JobSpec{one}, nil
+}
+
+// specLabels names file-loaded specs for output headers.
+func specLabels(specs []server.JobSpec) []string {
+	labels := make([]string, len(specs))
+	for i, s := range specs {
+		switch {
+		case s.Experiment != nil:
+			labels[i] = s.Experiment.ID
+		case s.VMServer != nil:
+			labels[i] = fmt.Sprintf("vmserver[%d]", i)
+		default:
+			labels[i] = fmt.Sprintf("spec[%d]", i)
+		}
+	}
+	return labels
+}
+
+// splitURLs parses a comma-separated URL list, dropping empties.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// maybeCSV exports one table when -csv is set and the table has rows.
+func maybeCSV(dir, label string, idx int, t *report.Table) error {
+	if dir == "" || t.Rows() == 0 {
+		return nil
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", label, idx))
+	if err := writeCSV(path, t); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
 }
 
 // writeCSV exports one table.

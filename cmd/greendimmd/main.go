@@ -8,6 +8,11 @@
 //
 //	greendimmd -addr :8080 -workers 4 -queue 16
 //	curl -d '{"kind":"experiment","experiment":{"id":"fig12"}}' localhost:8080/v1/jobs
+//
+// With -peers, the daemon becomes a coordinator: submissions its bounded
+// queue rejects are proxied to a healthy peer daemon (internal/cluster)
+// instead of bouncing back as 429, and the proxied jobs stay pollable
+// and cancelable through this daemon under coordinator-local ids.
 package main
 
 import (
@@ -20,9 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"greendimm/internal/cluster"
 	"greendimm/internal/server"
 )
 
@@ -37,6 +44,8 @@ func main() {
 		grace      = flag.Duration("grace", 2*time.Minute, "drain window for in-flight jobs on shutdown")
 		maxRecords = flag.Int("max-records", 4096, "finished job records to retain")
 		cpuBudget  = flag.Int("cpu-budget", runtime.GOMAXPROCS(0), "goroutine budget shared by workers and per-job sweep parallelism")
+		peers      = flag.String("peers", "", "comma-separated peer greendimmd base URLs; queue-full submissions are proxied to a healthy peer instead of returning 429")
+		peerProbe  = flag.Duration("peer-probe", 2*time.Second, "peer /healthz probe period (with -peers)")
 	)
 	flag.Parse()
 
@@ -49,7 +58,21 @@ func main() {
 		MaxJobRecords:  *maxRecords,
 		CPUBudget:      *cpuBudget,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *peers != "" {
+		var urls []string
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		pool := cluster.NewPool(urls, cluster.PoolConfig{ProbePeriod: *peerProbe})
+		pool.Start()
+		defer pool.Stop()
+		handler = cluster.NewCoordinator(srv, pool, nil).Handler()
+		log.Printf("coordinating queue overflow across %d peers", len(urls))
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

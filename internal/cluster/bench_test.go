@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"greendimm/internal/server"
+)
+
+// BenchmarkDispatcher measures dispatch overhead — routing, HTTP round
+// trips, polling, merge — against one httptest backend with an instant
+// runner, 8 jobs per iteration. Simulation cost is deliberately excluded
+// so the snapshot tracks the cluster layer, not the engines.
+func BenchmarkDispatcher(b *testing.B) {
+	backend, _ := newBackend(b, server.Config{Workers: 4, QueueDepth: 64, CacheEntries: 1,
+		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+			return &server.Result{Text: fmt.Sprintf("seed %d\n", spec.VMServer.Seed), SimSeconds: 1}, nil
+		}})
+	pool := NewPool([]string{backend.URL}, PoolConfig{Client: fastClient(nil)})
+	d := NewDispatcher(pool, Options{})
+
+	const batch = 8
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		specs := make([]server.JobSpec, batch)
+		for j := range specs {
+			// Distinct seeds per iteration defeat the backend cache, so
+			// every job takes the full submit/wait round trip.
+			specs[j] = scenSpec(int64(i*batch + j + 1))
+		}
+		if _, err := d.Run(ctx, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

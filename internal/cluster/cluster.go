@@ -1,0 +1,83 @@
+// Package cluster composes a set of greendimmd daemons into one logical
+// simulation backend. It layers, bottom up:
+//
+//   - Client: a typed HTTP client for the daemon's job API (submit,
+//     poll/wait, cancel, healthz) with per-attempt timeouts and capped
+//     exponential backoff with jitter on transient failures (connection
+//     errors, 429 queue-full — honoring the server's Retry-After hint —
+//     and 5xx).
+//   - Pool: a health scoreboard over the backends. It counts consecutive
+//     transport failures, optionally probes /healthz on a period, and
+//     leases work to the healthy backend with the fewest outstanding
+//     jobs.
+//   - Dispatcher: fans a slice of server.JobSpec across the pool,
+//     failing a job over to the next backend when one misbehaves,
+//     optionally hedging stragglers onto a second backend after a
+//     latency threshold (first result wins, the loser is cancelled), and
+//     falling back to in-process execution (server.Execute) when no
+//     healthy backend remains.
+//   - Coordinator: an http.Handler wrapper that turns a daemon into an
+//     overflow router — when its local queue is full it proxies the
+//     submission to a healthy peer instead of returning 429.
+//
+// The whole design leans on the repo-wide determinism invariant: a spec
+// hash (server.SpecHash) fully determines the report bytes, at any
+// parallelism, on any machine. That is what makes retries, hedges and
+// the local fallback interchangeable — and it is checked, not assumed:
+// the dispatcher fingerprints every result and errors out if two runs of
+// the same spec hash ever disagree.
+package cluster
+
+import "sync/atomic"
+
+// Counters aggregates dispatcher and client activity. All fields are
+// atomics; read a consistent copy with Snapshot. One Counters instance
+// is shared by a Pool's clients and its Dispatcher.
+type Counters struct {
+	// Submitted counts jobs handed to a backend (hedges included).
+	Submitted atomic.Int64
+	// Retries counts HTTP attempts beyond the first, across all calls —
+	// the backoff loop inside Client.
+	Retries atomic.Int64
+	// Failovers counts jobs moved to a different backend after one
+	// failed them (transport error, queue rejection, or a failed job
+	// state).
+	Failovers atomic.Int64
+	// Hedges counts duplicate submissions launched after HedgeAfter.
+	Hedges atomic.Int64
+	// HedgeWins counts hedges whose copy finished first.
+	HedgeWins atomic.Int64
+	// LocalRuns counts in-process fallback executions.
+	LocalRuns atomic.Int64
+	// Divergences counts same-spec-hash result pairs whose report bytes
+	// disagreed. Any nonzero value fails the dispatch.
+	Divergences atomic.Int64
+	// ProxiedJobs counts submissions a Coordinator routed to a peer.
+	ProxiedJobs atomic.Int64
+}
+
+// CounterSnapshot is one consistent read of a Counters.
+type CounterSnapshot struct {
+	Submitted   int64 `json:"submitted"`
+	Retries     int64 `json:"retries"`
+	Failovers   int64 `json:"failovers"`
+	Hedges      int64 `json:"hedges"`
+	HedgeWins   int64 `json:"hedge_wins"`
+	LocalRuns   int64 `json:"local_runs"`
+	Divergences int64 `json:"divergences"`
+	ProxiedJobs int64 `json:"proxied_jobs"`
+}
+
+// Snapshot reads every counter.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		Submitted:   c.Submitted.Load(),
+		Retries:     c.Retries.Load(),
+		Failovers:   c.Failovers.Load(),
+		Hedges:      c.Hedges.Load(),
+		HedgeWins:   c.HedgeWins.Load(),
+		LocalRuns:   c.LocalRuns.Load(),
+		Divergences: c.Divergences.Load(),
+		ProxiedJobs: c.ProxiedJobs.Load(),
+	}
+}

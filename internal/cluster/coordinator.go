@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"greendimm/internal/server"
+)
+
+// maxProxyRecords bounds the coordinator's proxy-id table; beyond it the
+// oldest mappings are forgotten (their jobs live on at the peer).
+const maxProxyRecords = 4096
+
+// Coordinator wraps a local server.Server's HTTP API with overflow
+// routing: submissions the local bounded queue rejects are proxied to a
+// healthy peer daemon instead of bouncing back as 429. Proxied jobs get
+// coordinator-local ids ("p000001"), and GET/DELETE on those ids are
+// forwarded to the owning peer transparently — clients talk to one
+// address and see one job namespace.
+type Coordinator struct {
+	local *server.Server
+	pool  *Pool
+	ctr   *Counters
+	inner http.Handler
+
+	mu     sync.Mutex
+	seq    int64
+	remote map[string]remoteRef
+	order  []string // proxy ids in creation order, for pruning
+}
+
+// remoteRef locates a proxied job at its peer.
+type remoteRef struct {
+	client *Client
+	id     string
+}
+
+// NewCoordinator wraps local with overflow routing over pool. counters
+// may be nil.
+func NewCoordinator(local *server.Server, pool *Pool, counters *Counters) *Coordinator {
+	if counters == nil {
+		counters = &Counters{}
+	}
+	return &Coordinator{
+		local:  local,
+		pool:   pool,
+		ctr:    counters,
+		inner:  local.Handler(),
+		remote: make(map[string]remoteRef),
+	}
+}
+
+// Handler returns the coordinator's HTTP API — a superset of the wrapped
+// server's: same routes, same payloads, plus transparent peer routing.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.Handle("/", c.inner) // list, healthz, metrics
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	v, err := c.local.Submit(spec)
+	var invalid *server.InvalidSpecError
+	switch {
+	case errors.As(err, &invalid):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: invalid.Error()})
+	case errors.Is(err, server.ErrQueueFull):
+		c.proxySubmit(w, r, spec)
+	case errors.Is(err, server.ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	case v.Cached:
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusOK, v)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+v.ID)
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+// proxySubmit routes a queue-full submission to a healthy peer. When no
+// peer can take it either, the client sees the same 429-with-Retry-After
+// contract a plain daemon serves.
+func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, spec server.JobSpec) {
+	reject := func() {
+		w.Header().Set("Retry-After", strconv.Itoa(c.local.RetryAfterHint()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: server.ErrQueueFull.Error()})
+	}
+	lease := c.pool.Pick(nil)
+	if lease == nil {
+		reject()
+		return
+	}
+	v, err := lease.Client().Submit(r.Context(), spec)
+	lease.Release(err) // the lease only spans the submit round trip
+	if err != nil {
+		reject()
+		return
+	}
+	c.ctr.ProxiedJobs.Add(1)
+	proxyID := c.register(lease.Client(), v.ID)
+	v.ID = proxyID
+	w.Header().Set("Location", "/v1/jobs/"+proxyID)
+	if v.Cached {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+// register maps a peer job to a fresh coordinator-local id.
+func (c *Coordinator) register(client *Client, remoteID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := fmt.Sprintf("p%06d", c.seq)
+	c.remote[id] = remoteRef{client: client, id: remoteID}
+	c.order = append(c.order, id)
+	if len(c.order) > maxProxyRecords {
+		drop := c.order[0]
+		c.order = c.order[1:]
+		delete(c.remote, drop)
+	}
+	return id
+}
+
+func (c *Coordinator) lookup(id string) (remoteRef, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, ok := c.remote[id]
+	return ref, ok
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ref, ok := c.lookup(id)
+	if !ok {
+		c.inner.ServeHTTP(w, r) // a local job, or an unknown id
+		return
+	}
+	path := "/v1/jobs/" + ref.id
+	if wait := r.URL.Query().Get("wait"); wait != "" {
+		path += "?wait=" + url.QueryEscape(wait)
+	}
+	var v server.JobView
+	if err := ref.client.do(r.Context(), http.MethodGet, path, nil, &v); err != nil {
+		proxyFailure(w, err)
+		return
+	}
+	v.ID = id
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ref, ok := c.lookup(id)
+	if !ok {
+		c.inner.ServeHTTP(w, r)
+		return
+	}
+	var v server.JobView
+	if err := ref.client.do(r.Context(), http.MethodDelete, "/v1/jobs/"+ref.id, nil, &v); err != nil {
+		proxyFailure(w, err)
+		return
+	}
+	v.ID = id
+	writeJSON(w, http.StatusOK, v)
+}
+
+// proxyFailure maps a peer error onto the coordinator's response: peer
+// API statuses pass through, transport failures become 502.
+func proxyFailure(w http.ResponseWriter, err error) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		writeJSON(w, se.Status, apiError{Error: se.Msg})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, apiError{Error: "peer unreachable: " + err.Error()})
+}

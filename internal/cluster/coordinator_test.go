@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"greendimm/internal/server"
+)
+
+func postSpec(t *testing.T, base string, spec server.JobSpec) (int, server.JobView) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, v
+}
+
+func getJob(t *testing.T, base, id, wait string) (int, server.JobView) {
+	t.Helper()
+	url := base + "/v1/jobs/" + id
+	if wait != "" {
+		url += "?wait=" + wait
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v server.JobView
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp.StatusCode, v
+}
+
+// TestCoordinatorProxiesOverflow: a coordinator with a one-worker,
+// one-slot local queue routes the overflow submission to its peer, and
+// the proxied job is visible (poll, wait, cancel) under the
+// coordinator's own id.
+func TestCoordinatorProxiesOverflow(t *testing.T) {
+	release := make(chan struct{})
+	local := server.New(server.Config{Workers: 1, QueueDepth: 1,
+		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+			<-release
+			return &server.Result{Text: "local\n"}, nil
+		}})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = local.Shutdown(ctx)
+	})
+	peer, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8,
+		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+			return &server.Result{Text: fmt.Sprintf("peer seed %d\n", spec.VMServer.Seed), SimSeconds: 1}, nil
+		}})
+
+	ctr := &Counters{}
+	pool := NewPool([]string{peer.URL}, PoolConfig{Client: fastClient(ctr)})
+	co := httptest.NewServer(NewCoordinator(local, pool, ctr).Handler())
+	t.Cleanup(co.Close)
+
+	// Fill the local daemon: one running job, one queued job.
+	code, vA := postSpec(t, co.URL, scenSpec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("job A: status %d", code)
+	}
+	waitRunning := time.Now()
+	for {
+		_, v := getJob(t, co.URL, vA.ID, "")
+		if v.State == server.StateRunning {
+			break
+		}
+		if time.Since(waitRunning) > 5*time.Second {
+			t.Fatalf("job A never started running: %+v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := postSpec(t, co.URL, scenSpec(2)); code != http.StatusAccepted {
+		t.Fatalf("job B: status %d", code)
+	}
+
+	// The third submission overflows to the peer under a proxy id.
+	code, vC := postSpec(t, co.URL, scenSpec(3))
+	if code != http.StatusAccepted {
+		t.Fatalf("overflow job: status %d", code)
+	}
+	if vC.ID != "p000001" {
+		t.Fatalf("overflow job id = %q, want p000001", vC.ID)
+	}
+	if got := ctr.Snapshot().ProxiedJobs; got != 1 {
+		t.Errorf("proxied jobs = %d, want 1", got)
+	}
+
+	code, vC = getJob(t, co.URL, vC.ID, "5s")
+	if code != http.StatusOK || vC.State != server.StateSucceeded {
+		t.Fatalf("proxied wait: status %d view %+v", code, vC)
+	}
+	if vC.ID != "p000001" {
+		t.Errorf("proxied view id = %q, want the coordinator-local id", vC.ID)
+	}
+	if vC.Result == nil || vC.Result.Text != "peer seed 3\n" {
+		t.Errorf("proxied result = %+v", vC.Result)
+	}
+
+	// DELETE routes to the peer too (a no-op on the finished job).
+	req, _ := http.NewRequest(http.MethodDelete, co.URL+"/v1/jobs/"+vC.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("proxied cancel: status %d", resp.StatusCode)
+	}
+
+	// Unknown ids still 404 through the local handler.
+	if code, _ := getJob(t, co.URL, "nope", ""); code != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", code)
+	}
+
+	close(release) // let the local jobs finish so shutdown drains clean
+}
+
+// TestCoordinatorRejectsWhenPeersDown: overflow with no reachable peer
+// degrades to the plain 429-with-Retry-After contract.
+func TestCoordinatorRejectsWhenPeersDown(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	local := server.New(server.Config{Workers: 1, QueueDepth: 1,
+		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+			<-release
+			return &server.Result{Text: "local\n"}, nil
+		}})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = local.Shutdown(ctx)
+	})
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	pool := NewPool([]string{dead.URL}, PoolConfig{Client: fastClient(nil)})
+	co := httptest.NewServer(NewCoordinator(local, pool, nil).Handler())
+	t.Cleanup(co.Close)
+
+	code, vA := postSpec(t, co.URL, scenSpec(1))
+	if code != http.StatusAccepted {
+		t.Fatalf("job A: status %d", code)
+	}
+	deadline := time.Now()
+	for {
+		_, v := getJob(t, co.URL, vA.ID, "")
+		if v.State == server.StateRunning {
+			break
+		}
+		if time.Since(deadline) > 5*time.Second {
+			t.Fatal("job A never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := postSpec(t, co.URL, scenSpec(2)); code != http.StatusAccepted {
+		t.Fatalf("job B: status %d", code)
+	}
+
+	body, _ := json.Marshal(scenSpec(3))
+	resp, err := http.Post(co.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow with dead peer: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After hint")
+	}
+}

@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"greendimm/internal/server"
+)
+
+// Options tunes a Dispatcher. Zero values take defaults.
+type Options struct {
+	// HedgeAfter launches a duplicate of a still-unfinished job on a
+	// second backend after this long (0 = hedging off). The first
+	// terminal success wins; the loser is cancelled. Safe because runs
+	// are deterministic — and checked: if both copies finish, their
+	// bytes must agree.
+	HedgeAfter time.Duration
+	// MaxBackendsPerJob bounds how many distinct backends one job is
+	// tried on (hedges included) before the local fallback (default:
+	// every configured backend).
+	MaxBackendsPerJob int
+	// Concurrency bounds jobs in flight across the pool (default
+	// 2 x backends, minimum 4).
+	Concurrency int
+	// Local executes a spec in-process when no backend can (default
+	// server.Execute, aborting when ctx is done).
+	Local func(ctx context.Context, spec server.JobSpec) (*server.Result, error)
+	// Counters receives dispatch accounting (default: a fresh instance;
+	// pass the Pool's ClientConfig.Counters to unify retry counts).
+	Counters *Counters
+}
+
+// Dispatcher fans job specs across a Pool of greendimmd backends and
+// merges the results deterministically: output order is input order, and
+// every pair of executions that shares a spec hash — duplicates in the
+// input, hedged copies, retried runs — must produce byte-identical
+// reports or the dispatch fails with a *DivergenceError.
+type Dispatcher struct {
+	pool *Pool
+	opts Options
+	ctr  *Counters
+}
+
+// NewDispatcher builds a dispatcher over the pool.
+func NewDispatcher(pool *Pool, opts Options) *Dispatcher {
+	if opts.MaxBackendsPerJob <= 0 {
+		opts.MaxBackendsPerJob = pool.Size()
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 2 * pool.Size()
+		if opts.Concurrency < 4 {
+			opts.Concurrency = 4
+		}
+	}
+	if opts.Local == nil {
+		opts.Local = func(ctx context.Context, spec server.JobSpec) (*server.Result, error) {
+			return server.Execute(spec, func() bool { return ctx.Err() != nil })
+		}
+	}
+	if opts.Counters == nil {
+		opts.Counters = &Counters{}
+	}
+	return &Dispatcher{pool: pool, opts: opts, ctr: opts.Counters}
+}
+
+// Counters returns a snapshot of the dispatcher's accounting.
+func (d *Dispatcher) Counters() CounterSnapshot { return d.ctr.Snapshot() }
+
+// Run executes every spec and returns the results in input order. Specs
+// are validated and hashed up front; any invalid spec fails the whole
+// call before work starts. The first per-job error (in input order)
+// cancels the remaining jobs and is returned.
+func (d *Dispatcher) Run(ctx context.Context, specs []server.JobSpec) ([]*server.Result, error) {
+	hashes := make([]string, len(specs))
+	for i, spec := range specs {
+		h, err := server.SpecHash(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: spec %d: %w", i, err)
+		}
+		hashes[i] = h
+	}
+
+	runCtx, cancelRest := context.WithCancel(ctx)
+	defer cancelRest()
+	results := make([]*server.Result, len(specs))
+	sources := make([]string, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, d.opts.Concurrency)
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				errs[i] = runCtx.Err()
+				return
+			}
+			results[i], sources[i], errs[i] = d.runOne(runCtx, specs[i], hashes[i])
+			if errs[i] != nil {
+				cancelRest() // first failure stops the rest promptly
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Report the causal failure, not the collateral cancellations it
+	// triggered in sibling jobs: the first non-cancellation error wins;
+	// pure cancellation (the caller's ctx died) reports as itself.
+	var cancelErr error
+	cancelIdx := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			if cancelErr == nil {
+				cancelErr, cancelIdx = err, i
+			}
+			continue
+		}
+		return nil, fmt.Errorf("cluster: spec %d (hash %.12s): %w", i, hashes[i], err)
+	}
+	if cancelErr != nil {
+		return nil, fmt.Errorf("cluster: spec %d (hash %.12s): %w", cancelIdx, hashes[cancelIdx], cancelErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: results already sit at their input index;
+	// cross-check that duplicated hashes resolved to identical bytes.
+	m := newMerger()
+	for i := range results {
+		if err := m.observe(hashes[i], results[i], sources[i]); err != nil {
+			if _, ok := err.(*DivergenceError); ok {
+				d.ctr.Divergences.Add(1)
+			}
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runOne pushes one spec through the routing ladder: healthy backends in
+// least-outstanding order (with optional hedging), then the in-process
+// fallback.
+func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash string) (*server.Result, string, error) {
+	tried := make(map[string]bool)
+	var lastErr error
+	for len(tried) < d.opts.MaxBackendsPerJob {
+		lease := d.pool.Pick(tried)
+		if lease == nil {
+			break
+		}
+		tried[lease.URL()] = true
+		res, src, err := d.runOn(ctx, lease, spec, tried)
+		if err == nil {
+			return res, src, nil
+		}
+		if ctx.Err() != nil {
+			return nil, "", err
+		}
+		lastErr = err
+		d.ctr.Failovers.Add(1)
+	}
+
+	d.ctr.LocalRuns.Add(1)
+	res, err := d.opts.Local(ctx, spec)
+	if err != nil {
+		if lastErr != nil {
+			return nil, "", fmt.Errorf("local fallback failed: %w (after backend error: %v)", err, lastErr)
+		}
+		return nil, "", err
+	}
+	return res, "local", nil
+}
+
+// attempt is one backend execution's outcome.
+type attempt struct {
+	view server.JobView
+	err  error
+	src  string
+}
+
+// succeeded reports whether the attempt carries a usable result.
+func (a attempt) succeeded() bool {
+	return a.err == nil && a.view.State == server.StateSucceeded && a.view.Result != nil
+}
+
+// failure renders a non-succeeded attempt as an error.
+func (a attempt) failure() error {
+	if a.err != nil {
+		return a.err
+	}
+	return fmt.Errorf("job %s (%s) ended %s: %s", a.view.ID, a.src, a.view.State, a.view.Error)
+}
+
+// runOn submits the spec to the leased backend and waits it out,
+// launching at most one hedge onto another backend (recorded in tried)
+// once HedgeAfter elapses. The first success wins; the loser is
+// cancelled, and if it had already finished, its bytes are cross-checked
+// against the winner's.
+func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobSpec, tried map[string]bool) (*server.Result, string, error) {
+	v, err := primary.Client().Submit(ctx, spec)
+	if err != nil {
+		primary.Release(err)
+		return nil, "", err
+	}
+	d.ctr.Submitted.Add(1)
+	if terminal(v.State) { // cache hit, or rejected-at-submit terminal states
+		primary.Release(nil)
+		a := attempt{view: v, src: primary.URL()}
+		if a.succeeded() {
+			return v.Result, primary.URL(), nil
+		}
+		return nil, "", a.failure()
+	}
+
+	wctx, cancelWatches := context.WithCancel(ctx)
+	defer cancelWatches()
+	primCh := make(chan attempt, 1)
+	go d.watch(wctx, primary, v.ID, primary.URL(), primCh)
+
+	var hedgeCh chan attempt
+	var hedgeTimer *time.Timer
+	var hedgeFire <-chan time.Time
+	if d.opts.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(d.opts.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeFire = hedgeTimer.C
+	}
+
+	launched, done := 1, 0
+	var winner *attempt
+	var firstFailure error
+	for winner == nil && done < launched {
+		select {
+		case a := <-primCh:
+			primCh = nil // a watcher sends exactly once
+			if a.succeeded() {
+				winner = &a
+			} else {
+				done++
+				if firstFailure == nil {
+					firstFailure = a.failure()
+				}
+			}
+		case a := <-hedgeCh:
+			hedgeCh = nil
+			if a.succeeded() {
+				winner = &a
+			} else {
+				done++
+				if firstFailure == nil {
+					firstFailure = a.failure()
+				}
+				// The straggler is still pending and this hedge died:
+				// re-arm so another backend gets a shot, else a stalled
+				// primary plus one unlucky hedge would wait out ctx.
+				if hedgeTimer != nil && done < launched {
+					hedgeTimer.Reset(d.opts.HedgeAfter)
+					hedgeFire = hedgeTimer.C
+				}
+			}
+		case <-hedgeFire:
+			hedgeFire = nil
+			hl := d.pool.Pick(tried)
+			if hl == nil {
+				continue // nobody to hedge onto; keep waiting on the primary
+			}
+			tried[hl.URL()] = true
+			d.ctr.Hedges.Add(1)
+			launched++
+			hedgeCh = make(chan attempt, 1)
+			go d.hedge(wctx, hl, spec, hedgeCh)
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+	}
+	if winner == nil {
+		return nil, "", firstFailure
+	}
+	if strings.HasPrefix(winner.src, "hedge ") {
+		d.ctr.HedgeWins.Add(1)
+	}
+
+	// Cancel the losing copy; if it has in fact already finished
+	// successfully, hold it to the determinism invariant first.
+	for _, ch := range []chan attempt{primCh, hedgeCh} {
+		if ch == nil {
+			continue
+		}
+		select {
+		case a := <-ch:
+			if a.succeeded() {
+				wp, werr := fingerprint(winner.view.Result)
+				lp, lerr := fingerprint(a.view.Result)
+				if werr == nil && lerr == nil && wp != lp {
+					d.ctr.Divergences.Add(1)
+					return nil, "", &DivergenceError{SpecHash: v.SpecHash, SourceA: winner.src, SourceB: a.src}
+				}
+			}
+		default:
+			// Still in flight: cancelWatches (deferred) aborts its Wait,
+			// and the watcher best-effort-cancels the remote job.
+		}
+	}
+	return winner.view.Result, winner.src, nil
+}
+
+// hedge submits the duplicate copy and hands off to watch.
+func (d *Dispatcher) hedge(ctx context.Context, l *Lease, spec server.JobSpec, ch chan<- attempt) {
+	src := "hedge " + l.URL()
+	v, err := l.Client().Submit(ctx, spec)
+	if err != nil {
+		l.Release(err)
+		ch <- attempt{err: err, src: src}
+		return
+	}
+	d.ctr.Submitted.Add(1)
+	if terminal(v.State) {
+		l.Release(nil)
+		ch <- attempt{view: v, src: src}
+		return
+	}
+	d.watch(ctx, l, v.ID, src, ch)
+}
+
+// watch waits a remote job to a terminal state, releasing the lease with
+// the transport outcome. If the watch itself is cancelled (hedge lost,
+// dispatch aborted) it best-effort-cancels the remote job so the backend
+// stops burning cores on a result nobody wants.
+func (d *Dispatcher) watch(ctx context.Context, l *Lease, id, src string, ch chan<- attempt) {
+	v, err := l.Client().Wait(ctx, id)
+	if err != nil {
+		if ctx.Err() != nil {
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_, _ = l.Client().Cancel(cctx, id)
+			cancel()
+			l.Release(nil) // abandonment is not the backend's fault
+		} else {
+			l.Release(err)
+		}
+		ch <- attempt{err: err, src: src}
+		return
+	}
+	l.Release(nil)
+	ch <- attempt{view: v, src: src}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"greendimm/internal/server"
+)
+
+// TestDispatcherFaultInjection is the acceptance scenario: three
+// backends — one permanently queue-full, one that accepts jobs and
+// stalls them forever, one that serves correctly — and a 20-spec
+// dispatch that must come back complete, in input order, byte-identical
+// to local execution, having recorded at least one retry and one hedge
+// along the way.
+func TestDispatcherFaultInjection(t *testing.T) {
+	ctr := &Counters{}
+	full := new429Backend(t)
+	stall, _ := newBackend(t, server.Config{Workers: 4, QueueDepth: 32, Runner: stallRunner})
+	good, _ := newBackend(t, server.Config{Workers: 4, QueueDepth: 32})
+
+	pool := NewPool([]string{full.URL, stall.URL, good.URL}, PoolConfig{
+		Client:        fastClient(ctr),
+		FailThreshold: 2,
+	})
+	d := NewDispatcher(pool, Options{HedgeAfter: 75 * time.Millisecond, Counters: ctr})
+
+	const n = 20
+	specs := make([]server.JobSpec, n)
+	for i := range specs {
+		specs[i] = scenSpec(int64(i + 1))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results, err := d.Run(ctx, specs)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		want := localExec(t, specs[i])
+		if res.Text != want.Text {
+			t.Errorf("result %d text differs from local execution:\nremote:\n%s\nlocal:\n%s", i, res.Text, want.Text)
+		}
+		if got, wantFP := mustFingerprint(t, res), mustFingerprint(t, want); got != wantFP {
+			t.Errorf("result %d fingerprint %s != local %s", i, got, wantFP)
+		}
+	}
+
+	snap := ctr.Snapshot()
+	if snap.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1 (the 429 backend forces retries)", snap.Retries)
+	}
+	if snap.Hedges < 1 {
+		t.Errorf("hedges = %d, want >= 1 (the stalling backend forces hedges)", snap.Hedges)
+	}
+	if snap.HedgeWins < 1 {
+		t.Errorf("hedge wins = %d, want >= 1 (stalled primaries never finish)", snap.HedgeWins)
+	}
+	if snap.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (queue-full submissions must move on)", snap.Failovers)
+	}
+	if snap.Divergences != 0 {
+		t.Errorf("divergences = %d, want 0", snap.Divergences)
+	}
+	t.Logf("counters: %+v", snap)
+}
+
+// TestDispatcherLocalFallback: with every backend down, the same
+// dispatch succeeds entirely in-process.
+func TestDispatcherLocalFallback(t *testing.T) {
+	dead := make([]string, 3)
+	for i := range dead {
+		hs, _ := newBackend(t, server.Config{Workers: 1, QueueDepth: 1,
+			Runner: func(server.JobSpec, func() bool) (*server.Result, error) { return &server.Result{Text: "x"}, nil }})
+		hs.Close()
+		dead[i] = hs.URL
+	}
+
+	ctr := &Counters{}
+	pool := NewPool(dead, PoolConfig{Client: fastClient(ctr), FailThreshold: 2})
+	d := NewDispatcher(pool, Options{Counters: ctr})
+
+	const n = 5
+	specs := make([]server.JobSpec, n)
+	for i := range specs {
+		specs[i] = scenSpec(int64(i + 1))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results, err := d.Run(ctx, specs)
+	if err != nil {
+		t.Fatalf("dispatch with all backends down: %v", err)
+	}
+	for i, res := range results {
+		want := localExec(t, specs[i])
+		if res.Text != want.Text {
+			t.Errorf("result %d differs from local execution", i)
+		}
+	}
+	snap := ctr.Snapshot()
+	if snap.LocalRuns != n {
+		t.Errorf("local runs = %d, want %d", snap.LocalRuns, n)
+	}
+	if snap.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (initial optimistic picks must fail over)", snap.Failovers)
+	}
+}
+
+// TestDispatcherDetectsDivergence: a backend that corrupts reports must
+// be caught by the merge cross-check when a duplicated spec lands on it
+// and on an honest backend.
+func TestDispatcherDetectsDivergence(t *testing.T) {
+	delayExec := func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+		// Hold both copies in flight long enough that the two duplicate
+		// specs are leased to the two different backends.
+		time.Sleep(300 * time.Millisecond)
+		return server.Execute(spec, stop)
+	}
+	corrupt, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8,
+		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+			res, err := delayExec(spec, stop)
+			if err != nil {
+				return nil, err
+			}
+			res.Text += "bitflip\n"
+			return res, nil
+		}})
+	honest, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8, Runner: delayExec})
+
+	ctr := &Counters{}
+	pool := NewPool([]string{corrupt.URL, honest.URL}, PoolConfig{Client: fastClient(ctr)})
+	d := NewDispatcher(pool, Options{Counters: ctr})
+
+	spec := scenSpec(7)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := d.Run(ctx, []server.JobSpec{spec, spec})
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("err = %v, want a *DivergenceError", err)
+	}
+	if ctr.Snapshot().Divergences != 1 {
+		t.Errorf("divergences = %d, want 1", ctr.Snapshot().Divergences)
+	}
+}
+
+// TestDispatcherServesCacheHits: re-dispatching the same specs is served
+// from the backend cache (terminal at submit) and still merges clean.
+func TestDispatcherServesCacheHits(t *testing.T) {
+	good, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8})
+	ctr := &Counters{}
+	pool := NewPool([]string{good.URL}, PoolConfig{Client: fastClient(ctr)})
+	d := NewDispatcher(pool, Options{Counters: ctr})
+
+	specs := []server.JobSpec{scenSpec(1), scenSpec(2)}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	first, err := d.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := d.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if mustFingerprint(t, first[i]) != mustFingerprint(t, second[i]) {
+			t.Errorf("cached result %d differs from first run", i)
+		}
+	}
+}
+
+// TestDispatcherRejectsInvalidSpec: validation happens up front, before
+// any job is routed.
+func TestDispatcherRejectsInvalidSpec(t *testing.T) {
+	good, _ := newBackend(t, server.Config{Workers: 1, QueueDepth: 4})
+	pool := NewPool([]string{good.URL}, PoolConfig{Client: fastClient(nil)})
+	d := NewDispatcher(pool, Options{})
+	_, err := d.Run(context.Background(), []server.JobSpec{{Kind: "nonsense"}})
+	var invalid *server.InvalidSpecError
+	if !errors.As(err, &invalid) {
+		t.Fatalf("err = %v, want *server.InvalidSpecError", err)
+	}
+	if d.Counters().Submitted != 0 {
+		t.Errorf("submitted = %d, want 0", d.Counters().Submitted)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"greendimm/internal/exp"
+	"greendimm/internal/server"
+)
+
+// fastClient is a retry policy scaled for tests: real backoff shape,
+// millisecond delays.
+func fastClient(ctr *Counters) ClientConfig {
+	return ClientConfig{
+		Retry:          RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		AttemptTimeout: 5 * time.Second,
+		PollWait:       50 * time.Millisecond,
+		Counters:       ctr,
+	}
+}
+
+// newBackend starts a real greendimmd server over httptest. A nil
+// cfg.Runner means real simulation.
+func newBackend(t testing.TB, cfg server.Config) (*httptest.Server, *server.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return hs, s
+}
+
+// new429Backend is a backend whose queue is permanently full: healthy
+// /healthz, every submission rejected with 429.
+func new429Backend(t testing.TB) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"server: job queue full"}`)
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// stallRunner accepts every job and never finishes it — it only returns
+// once the job is cancelled (hedge lost, deadline, shutdown).
+func stallRunner(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+	for !stop() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("stalled job aborted")
+}
+
+// scenSpec builds a cheap, seed-dependent real job: a 0.05-simulated-hour
+// VM-server scenario. Different seeds give different reports, so result
+// ordering is observable.
+func scenSpec(seed int64) server.JobSpec {
+	return server.JobSpec{
+		Kind:     server.KindVMServer,
+		VMServer: &exp.VMScenario{KSM: true, GreenDIMM: true, Hours: 0.05, Seed: seed},
+	}
+}
+
+// localExec runs the spec in-process — the reference bytes every remote
+// execution must match.
+func localExec(t testing.TB, spec server.JobSpec) *server.Result {
+	t.Helper()
+	res, err := server.Execute(spec, nil)
+	if err != nil {
+		t.Fatalf("local execute: %v", err)
+	}
+	return res
+}
+
+// mustFingerprint hashes a result's report bytes.
+func mustFingerprint(t testing.TB, res *server.Result) string {
+	t.Helper()
+	fp, err := fingerprint(res)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}

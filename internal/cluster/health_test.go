@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// toggleBackend is a /healthz endpoint whose health is flipped by tests.
+func toggleBackend(t *testing.T) (*httptest.Server, *atomic.Bool) {
+	t.Helper()
+	var up atomic.Bool
+	up.Store(true)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !up.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"status":"draining"}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &up
+}
+
+func TestPoolDemotesAfterConsecutiveFailuresAndProbesRevive(t *testing.T) {
+	hs, up := toggleBackend(t)
+	pool := NewPool([]string{hs.URL}, PoolConfig{Client: fastClient(nil), FailThreshold: 2})
+
+	// Two consecutive transport failures demote the backend.
+	for i := 0; i < 2; i++ {
+		l := pool.Pick(nil)
+		if l == nil {
+			t.Fatalf("pick %d returned nil while backend should still be selectable", i)
+		}
+		l.Release(errors.New("connection reset"))
+	}
+	if l := pool.Pick(nil); l != nil {
+		t.Fatal("backend still picked after hitting the failure threshold")
+	}
+	st := pool.Status()[0]
+	if st.Healthy || st.ConsecFails != 2 || st.LastErr == "" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// A successful probe revives it; a failing probe does not.
+	up.Store(false)
+	pool.ProbeAll(context.Background())
+	if l := pool.Pick(nil); l != nil {
+		t.Fatal("revived by a failing probe")
+	}
+	up.Store(true)
+	pool.ProbeAll(context.Background())
+	l := pool.Pick(nil)
+	if l == nil {
+		t.Fatal("healthy probe did not revive the backend")
+	}
+	l.Release(nil)
+}
+
+func TestPoolPicksLeastOutstanding(t *testing.T) {
+	a, _ := toggleBackend(t)
+	b, _ := toggleBackend(t)
+	pool := NewPool([]string{a.URL, b.URL}, PoolConfig{Client: fastClient(nil)})
+
+	l1 := pool.Pick(nil) // both idle: earlier backend wins the tie
+	l2 := pool.Pick(nil) // a has 1 outstanding: b wins
+	l3 := pool.Pick(nil) // tied at 1: earlier backend wins again
+	got := []string{l1.URL(), l2.URL(), l3.URL()}
+	want := []string{a.URL, b.URL, a.URL}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pick sequence %v, want %v", got, want)
+		}
+	}
+
+	// Exclusion skips a backend regardless of load.
+	l4 := pool.Pick(map[string]bool{a.URL: true})
+	if l4 == nil || l4.URL() != b.URL {
+		t.Fatalf("exclusion pick = %v, want %s", l4, b.URL)
+	}
+	for _, l := range []*Lease{l1, l2, l3, l4} {
+		l.Release(nil)
+	}
+	for _, st := range pool.Status() {
+		if st.Outstanding != 0 {
+			t.Errorf("%s outstanding = %d after releases, want 0", st.URL, st.Outstanding)
+		}
+	}
+}
+
+func TestLeaseReleaseIsIdempotent(t *testing.T) {
+	hs, _ := toggleBackend(t)
+	pool := NewPool([]string{hs.URL}, PoolConfig{Client: fastClient(nil)})
+	l := pool.Pick(nil)
+	l.Release(nil)
+	l.Release(errors.New("late duplicate")) // must not double-decrement or re-score
+	st := pool.Status()[0]
+	if st.Outstanding != 0 || !st.Healthy || st.ConsecFails != 0 {
+		t.Fatalf("status after double release = %+v", st)
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"greendimm/internal/server"
+)
+
+// DivergenceError reports two runs of the same spec hash whose reports
+// were not byte-identical — a broken determinism invariant (PR 2 made
+// reports parallelism-invariant; backends and the local fallback must
+// therefore agree bit-for-bit), or a corrupt backend.
+type DivergenceError struct {
+	SpecHash string
+	// SourceA and SourceB identify the disagreeing executions (backend
+	// URLs, "local", or "hedge <url>").
+	SourceA, SourceB string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("cluster: divergent results for spec %.12s: %s vs %s disagree byte-for-byte",
+		e.SpecHash, e.SourceA, e.SourceB)
+}
+
+// fingerprint returns the canonical content hash of a result's report
+// bytes: tables, series, VM-day payload and rendered text. WallSeconds
+// is execution accounting, not report content — it legitimately differs
+// between two runs of the same spec — so it is zeroed before hashing.
+func fingerprint(res *server.Result) (string, error) {
+	cp := *res
+	cp.WallSeconds = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return "", fmt.Errorf("cluster: fingerprinting result: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// merger cross-checks that every result observed for one spec hash has
+// one fingerprint. It is how the dispatcher turns "retries, hedges and
+// duplicates are interchangeable" from an assumption into a check.
+type merger struct {
+	// byHash maps spec hash -> first observed fingerprint + source.
+	byHash map[string]sourcedPrint
+}
+
+type sourcedPrint struct {
+	print  string
+	source string
+}
+
+func newMerger() *merger {
+	return &merger{byHash: make(map[string]sourcedPrint)}
+}
+
+// observe records one (spec hash, result, source) execution and returns
+// a *DivergenceError if an earlier execution of the same hash produced
+// different bytes.
+func (m *merger) observe(specHash string, res *server.Result, source string) error {
+	print, err := fingerprint(res)
+	if err != nil {
+		return err
+	}
+	prev, ok := m.byHash[specHash]
+	if !ok {
+		m.byHash[specHash] = sourcedPrint{print: print, source: source}
+		return nil
+	}
+	if prev.print != print {
+		return &DivergenceError{SpecHash: specHash, SourceA: prev.source, SourceB: source}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -57,7 +58,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.As(err, &invalid):
 		writeJSON(w, http.StatusBadRequest, apiError{Error: invalid.Error()})
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// The hint tracks the mean job wall time so cluster backoff can
+		// wait roughly one queue-slot turnover instead of hammering.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})

@@ -172,7 +172,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
 	s := New(Config{Workers: 1, QueueDepth: 1,
-		runner: func(JobSpec, func() bool) (*Result, error) {
+		Runner: func(JobSpec, func() bool) (*Result, error) {
 			started <- struct{}{}
 			<-release
 			return &Result{}, nil
@@ -200,7 +200,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 
 func TestHTTPBadRequests(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 1,
-		runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
+		Runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
 	defer shutdown(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -305,7 +305,7 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 
 func TestHTTPListJobs(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 8,
-		runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
+		Runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
 	defer shutdown(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

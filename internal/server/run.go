@@ -29,6 +29,23 @@ type Result struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// Execute runs one job spec in-process, outside any worker pool: it
+// normalizes the spec and executes it serially with no sweep budget.
+// This is the cluster dispatcher's local-fallback path; because runSpec
+// is deterministic, the Result (minus WallSeconds, which Execute leaves
+// zero) is byte-identical to what any greendimmd backend returns for the
+// same spec. stop (nil = never) is polled from the engines' event loops.
+func Execute(spec JobSpec, stop func() bool) (*Result, error) {
+	norm, err := spec.normalized()
+	if err != nil {
+		return nil, &InvalidSpecError{Err: err}
+	}
+	if stop == nil {
+		stop = func() bool { return false }
+	}
+	return runSpec(norm, stop, nil)
+}
+
 // runSpec executes a normalized spec. stop is polled from the engines'
 // event loops; when it reports true the run aborts and runSpec's result
 // must be discarded (the pool checks its job context, which is what stop

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -70,9 +71,10 @@ type Config struct {
 	// serial sweeps — the pool is already using every core.
 	CPUBudget int
 
-	// runner is the execution function — a test seam; nil means
-	// runSpec (the real simulator).
-	runner func(JobSpec, func() bool) (*Result, error)
+	// Runner is the execution function — a test seam (used by the
+	// server's own tests and internal/cluster's fault-injection
+	// backends); nil means runSpec (the real simulator).
+	Runner func(JobSpec, func() bool) (*Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -97,11 +99,11 @@ func (c Config) withDefaults() Config {
 	if c.CPUBudget <= 0 {
 		c.CPUBudget = runtime.GOMAXPROCS(0)
 	}
-	if c.runner == nil {
+	if c.Runner == nil {
 		// Extra sweep workers (beyond each job's own pool worker) draw
 		// from the budget left over after the worker pool is staffed.
 		limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
-		c.runner = func(spec JobSpec, stop func() bool) (*Result, error) {
+		c.Runner = func(spec JobSpec, stop func() bool) (*Result, error) {
 			return runSpec(spec, stop, limiter)
 		}
 	}
@@ -310,7 +312,7 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	s.busy++
-	runner := s.cfg.runner
+	runner := s.cfg.Runner
 	spec := j.spec
 	s.mu.Unlock()
 
@@ -476,6 +478,27 @@ func (s *Server) Wait(ctx context.Context, id string) (JobView, error) {
 	}
 	v, _ := s.Get(id)
 	return v, nil
+}
+
+// RetryAfterHint suggests, in whole seconds, how long a client rejected
+// with ErrQueueFull should wait before resubmitting: the mean wall time
+// of succeeded jobs (a queue slot frees roughly once per mean job),
+// clamped to [1, 60]. Before any job has finished it returns 1.
+func (s *Server) RetryAfterHint() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	secs := 1.0
+	if s.ctr.succeeded > 0 {
+		secs = s.ctr.wallSecondsSum / float64(s.ctr.succeeded)
+	}
+	hint := int(math.Ceil(secs))
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
 }
 
 // Draining reports whether Shutdown has begun.

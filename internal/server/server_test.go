@@ -20,7 +20,7 @@ func specN(n int64) JobSpec {
 // newTestServer builds a server with a fake runner.
 func newTestServer(t *testing.T, cfg Config, runner func(JobSpec, func() bool) (*Result, error)) *Server {
 	t.Helper()
-	cfg.runner = runner
+	cfg.Runner = runner
 	s := New(cfg)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -231,7 +231,7 @@ func TestPoolShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
 	var finished atomic.Int64
 	cfg := Config{Workers: 1, QueueDepth: 4,
-		runner: func(JobSpec, func() bool) (*Result, error) {
+		Runner: func(JobSpec, func() bool) (*Result, error) {
 			<-release
 			finished.Add(1)
 			return &Result{}, nil
@@ -280,7 +280,7 @@ func TestPoolShutdownDrains(t *testing.T) {
 
 func TestPoolShutdownForceCancelsOnContextExpiry(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 4,
-		runner: func(spec JobSpec, stop func() bool) (*Result, error) {
+		Runner: func(spec JobSpec, stop func() bool) (*Result, error) {
 			for !stop() {
 				time.Sleep(time.Millisecond)
 			}
@@ -379,5 +379,35 @@ func TestJobRecordPruning(t *testing.T) {
 	}
 	if _, ok := s.Get("j000001"); ok {
 		t.Error("oldest record survived pruning")
+	}
+}
+
+// TestRetryAfterHint checks the hint's derivation and clamping: 1 before
+// any success, the ceiling of the mean wall time afterwards, never
+// outside [1, 60].
+func TestRetryAfterHint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(spec JobSpec, stop func() bool) (*Result, error) { return &Result{}, nil })
+	if got := s.RetryAfterHint(); got != 1 {
+		t.Errorf("hint before any success = %d, want 1", got)
+	}
+	cases := []struct {
+		succeeded int64
+		wallSum   float64
+		want      int
+	}{
+		{4, 10, 3},    // mean 2.5s → ceil 3
+		{2, 0.01, 1},  // sub-second mean clamps up to 1
+		{1, 3600, 60}, // hour-long mean clamps down to 60
+		{3, 9, 3},     // exact integer mean stays put
+	}
+	for _, c := range cases {
+		s.mu.Lock()
+		s.ctr.succeeded = c.succeeded
+		s.ctr.wallSecondsSum = c.wallSum
+		s.mu.Unlock()
+		if got := s.RetryAfterHint(); got != c.want {
+			t.Errorf("hint(%d jobs, %.2fs total) = %d, want %d", c.succeeded, c.wallSum, got, c.want)
+		}
 	}
 }

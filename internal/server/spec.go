@@ -101,6 +101,25 @@ func (s JobSpec) normalized() (JobSpec, error) {
 	return s, nil
 }
 
+// Normalize validates the spec and returns it with defaults made
+// explicit — the exported entry point for out-of-process callers
+// (internal/cluster) that must agree with the daemon on what "the same
+// job" means.
+func (s JobSpec) Normalize() (JobSpec, error) { return s.normalized() }
+
+// SpecHash returns the content address of a spec: the hex SHA-256 of its
+// normalized cache-key form. Two specs with equal SpecHash describe the
+// same simulation and — determinism being the repo-wide invariant — must
+// produce byte-identical reports, which is what the cluster merge
+// cross-checks.
+func SpecHash(s JobSpec) (string, error) {
+	norm, err := s.normalized()
+	if err != nil {
+		return "", &InvalidSpecError{Err: err}
+	}
+	return norm.hash()
+}
+
 // hash returns the spec's content address: the hex SHA-256 of the
 // normalized spec's canonical JSON. Call on the normalized form;
 // encoding/json renders struct fields in declaration order, so the bytes

@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Benchmark snapshot: run every benchmark once in quick mode and write a
 # JSON file mapping benchmark name -> metrics, for before/after
-# comparisons of the event engine and sweep work.
+# comparisons of the event engine, sweep, and cluster-dispatch work.
+# BenchmarkDispatcher (internal/cluster) rides along via ./... and
+# tracks the per-job dispatch overhead: routing, HTTP round trips,
+# polling, and the deterministic merge, with simulation cost excluded.
 #
 # Usage: scripts/bench.sh [output.json]
 #   Default output: BENCH_<git-short-rev>.json in the repo root.

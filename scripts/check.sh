@@ -27,6 +27,11 @@ GREENDIMM_QUICK=1 go test -race ./internal/sweep/
 GREENDIMM_QUICK=1 go test -race -run 'Sweep|Parallel|Determinism' \
     ./internal/exp/ ./internal/server/
 
+echo "==> go test -race ./internal/cluster/ (fault injection)"
+# The cluster dispatcher's retry/hedge/failover machinery is goroutine
+# heavy; its fault-injection suite must always run under the detector.
+GREENDIMM_QUICK=1 go test -race ./internal/cluster/
+
 echo "==> go test -race ./..."
 go test -race "$@" ./...
 
