@@ -30,6 +30,7 @@ import (
 
 	"greendimm/internal/cluster"
 	"greendimm/internal/exp"
+	"greendimm/internal/obs"
 	"greendimm/internal/report"
 	"greendimm/internal/server"
 )
@@ -44,6 +45,7 @@ func main() {
 		specFile   = flag.String("spec", "", "run a JSON job-spec file (one spec object or an array) instead of -experiment")
 		backends   = flag.String("backends", "", "comma-separated greendimmd base URLs; jobs run remotely with routing, retries and hedging (in-process fallback if all are down)")
 		hedgeAfter = flag.Duration("hedge-after", 30*time.Second, "with -backends: duplicate an unfinished job onto a second backend after this long (0 disables hedging)")
+		traceOut   = flag.String("trace-out", "", "write a JSON execution trace (per-cell spans; with -backends also attempts/hedges/backoffs) to this file")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -64,10 +66,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		runSpecs(specLabels(specs), specs, *backends, *hedgeAfter, *csvDir)
-	case *backends != "":
+		runSpecs(specLabels(specs), specs, *backends, *hedgeAfter, *csvDir, *traceOut)
+	case *backends != "" || *traceOut != "":
+		// Tracing needs the spec path: runSpecs threads an obs.Trace
+		// through execution, which the registry path has no seam for.
 		labels, specs := experimentSpecs(*which, *quick, *seed, *parallel)
-		runSpecs(labels, specs, *backends, *hedgeAfter, *csvDir)
+		runSpecs(labels, specs, *backends, *hedgeAfter, *csvDir, *traceOut)
 	default:
 		runLocalRegistry(*which, exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}, *csvDir)
 	}
@@ -105,8 +109,16 @@ func runLocalRegistry(which string, opts exp.Options, csvDir string) {
 
 // runSpecs executes job specs — remotely when backends are given, else
 // in-process via server.Execute — and prints each report the way the
-// local path does.
-func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAfter time.Duration, csvDir string) {
+// local path does. With traceOut, each spec records an execution trace
+// and the labeled set is written there as JSON.
+func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAfter time.Duration, csvDir, traceOut string) {
+	var traces []*obs.Trace
+	if traceOut != "" {
+		traces = make([]*obs.Trace, len(specs))
+		for i := range traces {
+			traces[i] = obs.NewTrace(0)
+		}
+	}
 	var results []*server.Result
 	if backends != "" {
 		urls := splitURLs(backends)
@@ -119,7 +131,7 @@ func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAft
 		defer pool.Stop()
 		d := cluster.NewDispatcher(pool, cluster.Options{HedgeAfter: hedgeAfter})
 		var err error
-		results, err = d.Run(context.Background(), specs)
+		results, err = d.RunTraced(context.Background(), specs, traces)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -129,12 +141,22 @@ func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAft
 			c.Submitted, c.Retries, c.Failovers, c.Hedges, c.HedgeWins, c.LocalRuns)
 	} else {
 		for i, spec := range specs {
-			res, err := server.Execute(spec, nil)
+			var h server.RunHooks
+			if traces != nil {
+				h.Trace = traces[i]
+			}
+			res, err := server.Execute(spec, h)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", labels[i], err)
 				os.Exit(1)
 			}
 			results = append(results, res)
+		}
+	}
+	if traceOut != "" {
+		if err := writeTraces(traceOut, labels, traces); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	for i, res := range results {
@@ -148,6 +170,19 @@ func runSpecs(labels []string, specs []server.JobSpec, backends string, hedgeAft
 			}
 		}
 	}
+}
+
+// writeTraces dumps the label → trace map as indented JSON.
+func writeTraces(path string, labels []string, traces []*obs.Trace) error {
+	out := make(map[string]obs.TraceView, len(traces))
+	for i, tr := range traces {
+		out[labels[i]] = tr.View()
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding traces: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // experimentIDs resolves -experiment to a sorted, deduplicated id list.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +47,7 @@ func main() {
 		cpuBudget  = flag.Int("cpu-budget", runtime.GOMAXPROCS(0), "goroutine budget shared by workers and per-job sweep parallelism")
 		peers      = flag.String("peers", "", "comma-separated peer greendimmd base URLs; queue-full submissions are proxied to a healthy peer instead of returning 429")
 		peerProbe  = flag.Duration("peer-probe", 2*time.Second, "peer /healthz probe period (with -peers)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -74,6 +76,27 @@ func main() {
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
+	// Profiling gets its own listener and mux, never the API one: the
+	// handlers are registered explicitly (no DefaultServeMux side
+	// effects), the API port stays free of debug endpoints, and the
+	// operator can bind profiling to localhost while the API is public.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pm}
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -98,6 +121,11 @@ func main() {
 	// Stop accepting HTTP traffic first, then drain the worker pool.
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("pprof shutdown: %v", err)
+		}
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -14,7 +14,7 @@ import (
 // so the snapshot tracks the cluster layer, not the engines.
 func BenchmarkDispatcher(b *testing.B) {
 	backend, _ := newBackend(b, server.Config{Workers: 4, QueueDepth: 64, CacheEntries: 1,
-		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+		Runner: func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
 			return &server.Result{Text: fmt.Sprintf("seed %d\n", spec.VMServer.Seed), SimSeconds: 1}, nil
 		}})
 	pool := NewPool([]string{backend.URL}, PoolConfig{Client: fastClient(nil)})

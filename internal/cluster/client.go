@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"greendimm/internal/obs"
 	"greendimm/internal/server"
 )
 
@@ -59,27 +60,43 @@ func (p RetryPolicy) delay(n int) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
-// StatusError is a non-2xx API response. Transient statuses (429, 5xx)
-// are retried; everything else aborts the call.
+// StatusError is a non-2xx API response. Transient failures (queue
+// full, draining, 5xx) are retried; everything else aborts the call.
 type StatusError struct {
 	Status int
-	Msg    string
-	// RetryAfter carries the server's Retry-After hint on 429 (zero when
-	// absent).
+	// Code is the machine-readable error code from the v1 envelope
+	// ({"error": {"code": ...}}), empty when the backend predates it or
+	// sent something else entirely.
+	Code string
+	Msg  string
+	// RetryAfter carries the server's retry hint on queue_full — the
+	// larger of the Retry-After header and the envelope's retry_after_s
+	// (zero when absent).
 	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("cluster: backend returned %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("cluster: backend returned %d: %s", e.Status, e.Msg)
 }
 
 // transient reports whether an error is worth retrying on the same
-// backend: retryable statuses and transport-level failures. The caller
-// must separately stop when its own context is done — a per-attempt
-// timeout also surfaces as context.DeadlineExceeded and is retryable.
+// backend. The envelope code decides when present — it survives proxies
+// that rewrite statuses — with the HTTP status as the fallback for
+// backends that predate the envelope. The caller must separately stop
+// when its own context is done — a per-attempt timeout also surfaces as
+// context.DeadlineExceeded and is retryable.
 func transient(err error) bool {
 	var se *StatusError
 	if errors.As(err, &se) {
+		switch se.Code {
+		case server.CodeQueueFull, server.CodeDraining, server.CodeInternal:
+			return true
+		case server.CodeInvalidSpec, server.CodeNotFound:
+			return false
+		}
 		return se.Status == http.StatusTooManyRequests || se.Status >= 500
 	}
 	return true // connection refused/reset, EOF, attempt timeout, ...
@@ -186,8 +203,13 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobView, error) {
 			if c.cfg.Counters != nil {
 				c.cfg.Counters.Retries.Add(1)
 			}
-			if err := sleepCtx(ctx, retryDelay(c.cfg.Retry, fails-1, err)); err != nil {
-				return server.JobView{}, err
+			// The dispatcher threads the job's trace through ctx; a nil
+			// trace (no tracing, or a direct caller) records nothing.
+			sp := obs.FromContext(ctx).StartArg("backoff", c.base)
+			serr := sleepCtx(ctx, retryDelay(c.cfg.Retry, fails-1, err))
+			sp.EndErr(err)
+			if serr != nil {
+				return server.JobView{}, serr
 			}
 		}
 	}
@@ -224,7 +246,12 @@ func (c *Client) retrying(ctx context.Context, attempt func(context.Context) err
 			if c.cfg.Counters != nil {
 				c.cfg.Counters.Retries.Add(1)
 			}
-			if serr := sleepCtx(ctx, retryDelay(c.cfg.Retry, n-1, err)); serr != nil {
+			// Record the backoff (with the error that caused it) into the
+			// job trace the dispatcher threaded through ctx, if any.
+			sp := obs.FromContext(ctx).StartArg("backoff", c.base)
+			serr := sleepCtx(ctx, retryDelay(c.cfg.Retry, n-1, err))
+			sp.EndErr(err)
+			if serr != nil {
 				return err // context done mid-backoff: report the last cause
 			}
 		}
@@ -285,13 +312,27 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		se := &StatusError{Status: resp.StatusCode}
+		// The v1 envelope nests an object under "error"; backends from
+		// before the envelope sent a bare string there. Decode the field
+		// raw and try both, so old peers keep working (their StatusError
+		// just has no Code and transient() falls back to the status).
 		var envelope struct {
-			Error string `json:"error"`
+			Error json.RawMessage `json:"error"`
 		}
-		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope); derr == nil {
-			se.Msg = envelope.Error
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope); derr == nil && len(envelope.Error) > 0 {
+			var body server.ErrorBody
+			if json.Unmarshal(envelope.Error, &body) == nil && body.Code != "" {
+				se.Code = body.Code
+				se.Msg = body.Message
+				se.RetryAfter = time.Duration(body.RetryAfterS) * time.Second
+			} else {
+				var msg string
+				if json.Unmarshal(envelope.Error, &msg) == nil {
+					se.Msg = msg
+				}
+			}
 		}
-		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && time.Duration(secs)*time.Second > se.RetryAfter {
 			se.RetryAfter = time.Duration(secs) * time.Second
 		}
 		return se

@@ -28,7 +28,11 @@
 // the same spec hash ever disagree.
 package cluster
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"greendimm/internal/metrics"
+)
 
 // Counters aggregates dispatcher and client activity. All fields are
 // atomics; read a consistent copy with Snapshot. One Counters instance
@@ -54,6 +58,12 @@ type Counters struct {
 	Divergences atomic.Int64
 	// ProxiedJobs counts submissions a Coordinator routed to a peer.
 	ProxiedJobs atomic.Int64
+
+	// AttemptSeconds, when non-nil, observes the wall latency of every
+	// backend attempt the dispatcher makes — primaries, hedges, and
+	// failover re-submissions alike, whether they win or lose. Lock-free;
+	// share one histogram across the fleet.
+	AttemptSeconds *metrics.Histogram
 }
 
 // CounterSnapshot is one consistent read of a Counters.
@@ -66,11 +76,17 @@ type CounterSnapshot struct {
 	LocalRuns   int64 `json:"local_runs"`
 	Divergences int64 `json:"divergences"`
 	ProxiedJobs int64 `json:"proxied_jobs"`
+
+	// Attempt-latency summary from AttemptSeconds (zero when the
+	// histogram is unset or empty).
+	AttemptCount int64   `json:"attempt_count,omitempty"`
+	AttemptP50S  float64 `json:"attempt_p50_s,omitempty"`
+	AttemptP90S  float64 `json:"attempt_p90_s,omitempty"`
 }
 
 // Snapshot reads every counter.
 func (c *Counters) Snapshot() CounterSnapshot {
-	return CounterSnapshot{
+	s := CounterSnapshot{
 		Submitted:   c.Submitted.Load(),
 		Retries:     c.Retries.Load(),
 		Failovers:   c.Failovers.Load(),
@@ -80,4 +96,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		Divergences: c.Divergences.Load(),
 		ProxiedJobs: c.ProxiedJobs.Load(),
 	}
+	if h := c.AttemptSeconds; h.Count() > 0 {
+		s.AttemptCount = h.Count()
+		s.AttemptP50S = h.Quantile(0.5)
+		s.AttemptP90S = h.Quantile(0.9)
+	}
+	return s
 }

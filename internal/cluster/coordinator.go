@@ -61,13 +61,10 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
 	mux.Handle("/", c.inner) // list, healthz, metrics
 	return mux
-}
-
-type apiError struct {
-	Error string `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -78,25 +75,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeError emits the same v1 envelope the wrapped server does, so
+// clients see one error surface regardless of which layer answered.
+func writeError(w http.ResponseWriter, status int, code, message string, retryAfterS int) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
+	}
+	writeJSON(w, status, server.ErrorEnvelope{Error: server.ErrorBody{Code: code, Message: message, RetryAfterS: retryAfterS}})
+}
+
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec server.JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		writeError(w, http.StatusBadRequest, server.CodeInvalidSpec, fmt.Sprintf("decoding job spec: %v", err), 0)
 		return
 	}
 	v, err := c.local.Submit(spec)
 	var invalid *server.InvalidSpecError
 	switch {
 	case errors.As(err, &invalid):
-		writeJSON(w, http.StatusBadRequest, apiError{Error: invalid.Error()})
+		writeError(w, http.StatusBadRequest, server.CodeInvalidSpec, invalid.Error(), 0)
 	case errors.Is(err, server.ErrQueueFull):
 		c.proxySubmit(w, r, spec)
 	case errors.Is(err, server.ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, server.CodeDraining, err.Error(), 0)
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, server.CodeInternal, err.Error(), 0)
 	case v.Cached:
 		w.Header().Set("Location", "/v1/jobs/"+v.ID)
 		writeJSON(w, http.StatusOK, v)
@@ -111,8 +117,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // contract a plain daemon serves.
 func (c *Coordinator) proxySubmit(w http.ResponseWriter, r *http.Request, spec server.JobSpec) {
 	reject := func() {
-		w.Header().Set("Retry-After", strconv.Itoa(c.local.RetryAfterHint()))
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: server.ErrQueueFull.Error()})
+		writeError(w, http.StatusTooManyRequests, server.CodeQueueFull, server.ErrQueueFull.Error(), c.local.RetryAfterHint())
 	}
 	lease := c.pool.Pick(nil)
 	if lease == nil {
@@ -179,6 +184,24 @@ func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// handleTrace forwards a proxied job's trace request to its peer,
+// passing the payload through untouched (the trace has no job-id field
+// to rewrite); local ids fall through to the wrapped server.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ref, ok := c.lookup(id)
+	if !ok {
+		c.inner.ServeHTTP(w, r)
+		return
+	}
+	var tv json.RawMessage
+	if err := ref.client.do(r.Context(), http.MethodGet, "/v1/jobs/"+ref.id+"/trace", nil, &tv); err != nil {
+		proxyFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tv)
+}
+
 func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ref, ok := c.lookup(id)
@@ -196,12 +219,29 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // proxyFailure maps a peer error onto the coordinator's response: peer
-// API statuses pass through, transport failures become 502.
+// API statuses pass through with the peer's envelope code (or the code
+// the status implies, for peers predating the envelope); transport
+// failures become 502 internal.
 func proxyFailure(w http.ResponseWriter, err error) {
 	var se *StatusError
 	if errors.As(err, &se) {
-		writeJSON(w, se.Status, apiError{Error: se.Msg})
+		code := se.Code
+		if code == "" {
+			switch {
+			case se.Status == http.StatusNotFound:
+				code = server.CodeNotFound
+			case se.Status == http.StatusTooManyRequests:
+				code = server.CodeQueueFull
+			case se.Status == http.StatusServiceUnavailable:
+				code = server.CodeDraining
+			case se.Status == http.StatusBadRequest:
+				code = server.CodeInvalidSpec
+			default:
+				code = server.CodeInternal
+			}
+		}
+		writeError(w, se.Status, code, se.Msg, int(se.RetryAfter.Seconds()))
 		return
 	}
-	writeJSON(w, http.StatusBadGateway, apiError{Error: "peer unreachable: " + err.Error()})
+	writeError(w, http.StatusBadGateway, server.CodeInternal, "peer unreachable: "+err.Error(), 0)
 }

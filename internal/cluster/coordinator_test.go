@@ -54,7 +54,7 @@ func getJob(t *testing.T, base, id, wait string) (int, server.JobView) {
 func TestCoordinatorProxiesOverflow(t *testing.T) {
 	release := make(chan struct{})
 	local := server.New(server.Config{Workers: 1, QueueDepth: 1,
-		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+		Runner: func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
 			<-release
 			return &server.Result{Text: "local\n"}, nil
 		}})
@@ -64,7 +64,7 @@ func TestCoordinatorProxiesOverflow(t *testing.T) {
 		_ = local.Shutdown(ctx)
 	})
 	peer, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8,
-		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+		Runner: func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
 			return &server.Result{Text: fmt.Sprintf("peer seed %d\n", spec.VMServer.Seed), SimSeconds: 1}, nil
 		}})
 
@@ -141,7 +141,7 @@ func TestCoordinatorRejectsWhenPeersDown(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	local := server.New(server.Config{Workers: 1, QueueDepth: 1,
-		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+		Runner: func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
 			<-release
 			return &server.Result{Text: "local\n"}, nil
 		}})

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"greendimm/internal/obs"
 	"greendimm/internal/server"
 )
 
@@ -58,7 +59,12 @@ func NewDispatcher(pool *Pool, opts Options) *Dispatcher {
 	}
 	if opts.Local == nil {
 		opts.Local = func(ctx context.Context, spec server.JobSpec) (*server.Result, error) {
-			return server.Execute(spec, func() bool { return ctx.Err() != nil })
+			// The job's trace rides the context (runOne puts it there), so
+			// a traced dispatch gets per-cell spans from the local run too.
+			return server.Execute(spec, server.RunHooks{
+				Stop:  func() bool { return ctx.Err() != nil },
+				Trace: obs.FromContext(ctx),
+			})
 		}
 	}
 	if opts.Counters == nil {
@@ -75,6 +81,24 @@ func (d *Dispatcher) Counters() CounterSnapshot { return d.ctr.Snapshot() }
 // call before work starts. The first per-job error (in input order)
 // cancels the remaining jobs and is returned.
 func (d *Dispatcher) Run(ctx context.Context, specs []server.JobSpec) ([]*server.Result, error) {
+	return d.RunTraced(ctx, specs, nil)
+}
+
+// RunTraced is Run with per-spec traces: traces[i] (nil entries allowed)
+// receives spec i's dispatch spans — one "attempt" per backend try (Arg
+// = backend URL), "hedge" for duplicate launches, "backoff" for client
+// retries, "failover" marks, "local" for in-process fallback, and a
+// final "merge". traces must be nil or match specs in length.
+func (d *Dispatcher) RunTraced(ctx context.Context, specs []server.JobSpec, traces []*obs.Trace) ([]*server.Result, error) {
+	if traces != nil && len(traces) != len(specs) {
+		return nil, fmt.Errorf("cluster: %d traces for %d specs", len(traces), len(specs))
+	}
+	traceFor := func(i int) *obs.Trace {
+		if traces == nil {
+			return nil
+		}
+		return traces[i]
+	}
 	hashes := make([]string, len(specs))
 	for i, spec := range specs {
 		h, err := server.SpecHash(spec)
@@ -102,7 +126,7 @@ func (d *Dispatcher) Run(ctx context.Context, specs []server.JobSpec) ([]*server
 				errs[i] = runCtx.Err()
 				return
 			}
-			results[i], sources[i], errs[i] = d.runOne(runCtx, specs[i], hashes[i])
+			results[i], sources[i], errs[i] = d.runOne(runCtx, specs[i], hashes[i], traceFor(i))
 			if errs[i] != nil {
 				cancelRest() // first failure stops the rest promptly
 			}
@@ -136,22 +160,34 @@ func (d *Dispatcher) Run(ctx context.Context, specs []server.JobSpec) ([]*server
 
 	// Deterministic merge: results already sit at their input index;
 	// cross-check that duplicated hashes resolved to identical bytes.
+	mergeStart := time.Now()
 	m := newMerger()
+	var mergeErr error
 	for i := range results {
 		if err := m.observe(hashes[i], results[i], sources[i]); err != nil {
 			if _, ok := err.(*DivergenceError); ok {
 				d.ctr.Divergences.Add(1)
 			}
-			return nil, err
+			mergeErr = err
+			break
 		}
+	}
+	mergeDur := time.Since(mergeStart)
+	for i := range specs {
+		traceFor(i).Add("merge", "", mergeStart, mergeDur, mergeErr)
+	}
+	if mergeErr != nil {
+		return nil, mergeErr
 	}
 	return results, nil
 }
 
 // runOne pushes one spec through the routing ladder: healthy backends in
 // least-outstanding order (with optional hedging), then the in-process
-// fallback.
-func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash string) (*server.Result, string, error) {
+// fallback. The trace rides ctx from here down so the client's backoff
+// loop and the local fallback can record into it.
+func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash string, tr *obs.Trace) (*server.Result, string, error) {
+	ctx = obs.ContextWith(ctx, tr)
 	tried := make(map[string]bool)
 	var lastErr error
 	for len(tried) < d.opts.MaxBackendsPerJob {
@@ -160,7 +196,7 @@ func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash strin
 			break
 		}
 		tried[lease.URL()] = true
-		res, src, err := d.runOn(ctx, lease, spec, tried)
+		res, src, err := d.runOn(ctx, lease, spec, tried, tr)
 		if err == nil {
 			return res, src, nil
 		}
@@ -169,10 +205,13 @@ func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash strin
 		}
 		lastErr = err
 		d.ctr.Failovers.Add(1)
+		tr.Mark("failover", lease.URL())
 	}
 
 	d.ctr.LocalRuns.Add(1)
+	sp := tr.Start("local")
 	res, err := d.opts.Local(ctx, spec)
+	sp.EndErr(err)
 	if err != nil {
 		if lastErr != nil {
 			return nil, "", fmt.Errorf("local fallback failed: %w (after backend error: %v)", err, lastErr)
@@ -207,19 +246,26 @@ func (a attempt) failure() error {
 // once HedgeAfter elapses. The first success wins; the loser is
 // cancelled, and if it had already finished, its bytes are cross-checked
 // against the winner's.
-func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobSpec, tried map[string]bool) (*server.Result, string, error) {
+func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobSpec, tried map[string]bool, tr *obs.Trace) (*server.Result, string, error) {
+	start := time.Now()
+	sp := tr.StartArg("attempt", primary.URL())
 	v, err := primary.Client().Submit(ctx, spec)
 	if err != nil {
 		primary.Release(err)
+		sp.EndErr(err)
+		d.ctr.AttemptSeconds.Observe(time.Since(start).Seconds())
 		return nil, "", err
 	}
 	d.ctr.Submitted.Add(1)
 	if terminal(v.State) { // cache hit, or rejected-at-submit terminal states
 		primary.Release(nil)
 		a := attempt{view: v, src: primary.URL()}
+		d.ctr.AttemptSeconds.Observe(time.Since(start).Seconds())
 		if a.succeeded() {
+			sp.End()
 			return v.Result, primary.URL(), nil
 		}
+		sp.EndErr(a.failure())
 		return nil, "", a.failure()
 	}
 
@@ -227,6 +273,7 @@ func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobS
 	defer cancelWatches()
 	primCh := make(chan attempt, 1)
 	go d.watch(wctx, primary, v.ID, primary.URL(), primCh)
+	primCh = d.finishAttempt(sp, start, primCh)
 
 	var hedgeCh chan attempt
 	var hedgeTimer *time.Timer
@@ -278,8 +325,9 @@ func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobS
 			tried[hl.URL()] = true
 			d.ctr.Hedges.Add(1)
 			launched++
-			hedgeCh = make(chan attempt, 1)
-			go d.hedge(wctx, hl, spec, hedgeCh)
+			inner := make(chan attempt, 1)
+			go d.hedge(wctx, hl, spec, inner)
+			hedgeCh = d.finishAttempt(tr.StartArg("hedge", hl.URL()), time.Now(), inner)
 		case <-ctx.Done():
 			return nil, "", ctx.Err()
 		}
@@ -313,6 +361,27 @@ func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobS
 		}
 	}
 	return winner.view.Result, winner.src, nil
+}
+
+// finishAttempt forwards an attempt channel's single send, closing the
+// attempt's span and observing its wall latency when it lands. The
+// forwarding goroutine runs even after the dispatch moves on (both
+// channels are buffered), so losing attempts still get their span ended
+// — with the cancellation error that abandoned them — instead of
+// leaking an open interval.
+func (d *Dispatcher) finishAttempt(sp obs.SpanHandle, start time.Time, in <-chan attempt) chan attempt {
+	out := make(chan attempt, 1)
+	go func() {
+		a := <-in
+		d.ctr.AttemptSeconds.Observe(time.Since(start).Seconds())
+		if a.succeeded() {
+			sp.End()
+		} else {
+			sp.EndErr(a.failure())
+		}
+		out <- a
+	}()
+	return out
 }
 
 // hedge submits the duplicate copy and hands off to watch.

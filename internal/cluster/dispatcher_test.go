@@ -80,7 +80,7 @@ func TestDispatcherLocalFallback(t *testing.T) {
 	dead := make([]string, 3)
 	for i := range dead {
 		hs, _ := newBackend(t, server.Config{Workers: 1, QueueDepth: 1,
-			Runner: func(server.JobSpec, func() bool) (*server.Result, error) { return &server.Result{Text: "x"}, nil }})
+			Runner: func(server.JobSpec, server.RunHooks) (*server.Result, error) { return &server.Result{Text: "x"}, nil }})
 		hs.Close()
 		dead[i] = hs.URL
 	}
@@ -119,15 +119,15 @@ func TestDispatcherLocalFallback(t *testing.T) {
 // be caught by the merge cross-check when a duplicated spec lands on it
 // and on an honest backend.
 func TestDispatcherDetectsDivergence(t *testing.T) {
-	delayExec := func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
+	delayExec := func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
 		// Hold both copies in flight long enough that the two duplicate
 		// specs are leased to the two different backends.
 		time.Sleep(300 * time.Millisecond)
-		return server.Execute(spec, stop)
+		return server.Execute(spec, h)
 	}
 	corrupt, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 8,
-		Runner: func(spec server.JobSpec, stop func() bool) (*server.Result, error) {
-			res, err := delayExec(spec, stop)
+		Runner: func(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
+			res, err := delayExec(spec, h)
 			if err != nil {
 				return nil, err
 			}

@@ -57,8 +57,8 @@ func new429Backend(t testing.TB) *httptest.Server {
 
 // stallRunner accepts every job and never finishes it — it only returns
 // once the job is cancelled (hedge lost, deadline, shutdown).
-func stallRunner(spec server.JobSpec, stop func() bool) (*server.Result, error) {
-	for !stop() {
+func stallRunner(spec server.JobSpec, h server.RunHooks) (*server.Result, error) {
+	for !h.Stop() {
 		time.Sleep(2 * time.Millisecond)
 	}
 	return nil, fmt.Errorf("stalled job aborted")
@@ -78,7 +78,7 @@ func scenSpec(seed int64) server.JobSpec {
 // execution must match.
 func localExec(t testing.TB, spec server.JobSpec) *server.Result {
 	t.Helper()
-	res, err := server.Execute(spec, nil)
+	res, err := server.Execute(spec, server.RunHooks{})
 	if err != nil {
 		t.Fatalf("local execute: %v", err)
 	}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"greendimm/internal/metrics"
+	"greendimm/internal/obs"
+	"greendimm/internal/server"
+)
+
+// TestDispatcherRunTracedSpans is the cluster half of the tracing
+// acceptance: under the three-backend fault-injection topology (one
+// permanently queue-full, one that stalls every job, one honest), a
+// traced dispatch must surface the dispatcher's whole decision ladder —
+// attempts, client backoffs, failovers, hedges, and the merge — in the
+// per-spec traces, and the attempt-latency histogram must fill in.
+func TestDispatcherRunTracedSpans(t *testing.T) {
+	ctr := &Counters{AttemptSeconds: metrics.NewLogHistogram(0.001, 3600, 3)}
+	full := new429Backend(t)
+	stall, _ := newBackend(t, server.Config{Workers: 4, QueueDepth: 32, Runner: stallRunner})
+	good, _ := newBackend(t, server.Config{Workers: 4, QueueDepth: 32})
+
+	pool := NewPool([]string{full.URL, stall.URL, good.URL}, PoolConfig{
+		Client:        fastClient(ctr),
+		FailThreshold: 2,
+	})
+	d := NewDispatcher(pool, Options{HedgeAfter: 75 * time.Millisecond, Counters: ctr})
+
+	const n = 10
+	specs := make([]server.JobSpec, n)
+	traces := make([]*obs.Trace, n)
+	for i := range specs {
+		specs[i] = scenSpec(int64(i + 1))
+		traces[i] = obs.NewTrace(0)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	results, err := d.RunTraced(ctx, specs, traces)
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+
+	union := make(map[string]int)
+	for i, tr := range traces {
+		names := make(map[string]int)
+		for _, sp := range tr.View().Spans {
+			names[sp.Name]++
+			union[sp.Name]++
+		}
+		if names["merge"] != 1 {
+			t.Errorf("trace %d: merge spans = %d, want exactly 1 (%v)", i, names["merge"], names)
+		}
+		if names["attempt"] < 1 && names["local"] < 1 {
+			t.Errorf("trace %d: no attempt or local span (%v)", i, names)
+		}
+	}
+	// The topology forces each failure mode at least once somewhere.
+	if union["hedge"] < 1 {
+		t.Errorf("hedge spans = %d, want >= 1 (stalling backend forces hedges); union %v", union["hedge"], union)
+	}
+	if union["backoff"] < 1 {
+		t.Errorf("backoff spans = %d, want >= 1 (the 429 backend forces client retries); union %v", union["backoff"], union)
+	}
+	if union["failover"] < 1 {
+		t.Errorf("failover marks = %d, want >= 1; union %v", union["failover"], union)
+	}
+
+	snap := ctr.Snapshot()
+	if snap.AttemptCount < int64(n) {
+		t.Errorf("attempt count = %d, want >= %d", snap.AttemptCount, n)
+	}
+	if snap.AttemptP50S <= 0 || snap.AttemptP90S < snap.AttemptP50S {
+		t.Errorf("attempt quantiles p50=%g p90=%g, want 0 < p50 <= p90", snap.AttemptP50S, snap.AttemptP90S)
+	}
+}
+
+// TestRunTracedLengthMismatch: a traces slice that does not match specs
+// is a caller bug and must fail before any work is routed.
+func TestRunTracedLengthMismatch(t *testing.T) {
+	good, _ := newBackend(t, server.Config{Workers: 1, QueueDepth: 4})
+	pool := NewPool([]string{good.URL}, PoolConfig{Client: fastClient(nil)})
+	d := NewDispatcher(pool, Options{})
+	_, err := d.RunTraced(context.Background(), []server.JobSpec{scenSpec(1), scenSpec(2)}, []*obs.Trace{obs.NewTrace(0)})
+	if err == nil {
+		t.Fatal("mismatched traces accepted")
+	}
+	if d.Counters().Submitted != 0 {
+		t.Errorf("submitted = %d, want 0", d.Counters().Submitted)
+	}
+}
+
+// envelopeBackend answers every submission with the given status and raw
+// body, counting requests.
+func envelopeBackend(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestClientParsesErrorEnvelope: the client decodes the v1 envelope's
+// machine code and retry hint, falls back to the legacy bare-string
+// shape for old peers, and lets the code override the HTTP status when
+// classifying transience.
+func TestClientParsesErrorEnvelope(t *testing.T) {
+	oneShot := ClientConfig{Retry: RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}}
+
+	cases := []struct {
+		name          string
+		status        int
+		body          string
+		header        string // Retry-After header, "" for none
+		wantCode      string
+		wantMsg       string
+		wantRetry     time.Duration
+		wantTransient bool
+	}{
+		{
+			name:     "v1 envelope with retry hint",
+			status:   http.StatusTooManyRequests,
+			body:     `{"error":{"code":"queue_full","message":"server: job queue full","retry_after_s":7}}`,
+			wantCode: "queue_full", wantMsg: "server: job queue full",
+			wantRetry: 7 * time.Second, wantTransient: true,
+		},
+		{
+			name:     "header beats smaller body hint",
+			status:   http.StatusTooManyRequests,
+			body:     `{"error":{"code":"queue_full","message":"full","retry_after_s":2}}`,
+			header:   "9",
+			wantCode: "queue_full", wantMsg: "full",
+			wantRetry: 9 * time.Second, wantTransient: true,
+		},
+		{
+			name:     "legacy bare-string envelope",
+			status:   http.StatusTooManyRequests,
+			body:     `{"error":"server: job queue full"}`,
+			wantCode: "", wantMsg: "server: job queue full",
+			wantRetry: 0, wantTransient: true, // status fallback
+		},
+		{
+			name:     "code overrides retryable-looking status",
+			status:   http.StatusInternalServerError,
+			body:     `{"error":{"code":"invalid_spec","message":"bad spec"}}`,
+			wantCode: "invalid_spec", wantMsg: "bad spec",
+			wantTransient: false,
+		},
+		{
+			name:     "code overrides terminal-looking status",
+			status:   http.StatusBadRequest,
+			body:     `{"error":{"code":"draining","message":"shutting down"}}`,
+			wantCode: "draining", wantMsg: "shutting down",
+			wantTransient: true,
+		},
+		{
+			name:     "unparseable body keeps status classification",
+			status:   http.StatusServiceUnavailable,
+			body:     `not json at all`,
+			wantCode: "", wantMsg: "",
+			wantTransient: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.header != "" {
+					w.Header().Set("Retry-After", tc.header)
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				fmt.Fprint(w, tc.body)
+			}))
+			defer hs.Close()
+
+			_, err := NewClient(hs.URL, oneShot).Submit(context.Background(), scenSpec(1))
+			var se *StatusError
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %v, want *StatusError", err)
+			}
+			if se.Status != tc.status || se.Code != tc.wantCode || se.Msg != tc.wantMsg {
+				t.Errorf("StatusError = %+v, want status %d code %q msg %q", se, tc.status, tc.wantCode, tc.wantMsg)
+			}
+			if se.RetryAfter != tc.wantRetry {
+				t.Errorf("RetryAfter = %v, want %v", se.RetryAfter, tc.wantRetry)
+			}
+			if transient(err) != tc.wantTransient {
+				t.Errorf("transient = %v, want %v", transient(err), tc.wantTransient)
+			}
+		})
+	}
+}
+
+// TestClientRecordsBackoffSpans: a context-carried trace picks up one
+// backoff span per retry sleep, tagged with the backend URL and the
+// error that caused it.
+func TestClientRecordsBackoffSpans(t *testing.T) {
+	hs := envelopeBackend(t, http.StatusTooManyRequests,
+		`{"error":{"code":"queue_full","message":"full","retry_after_s":0}}`)
+	c := NewClient(hs.URL, ClientConfig{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	tr := obs.NewTrace(0)
+	_, err := c.Submit(obs.ContextWith(context.Background(), tr), scenSpec(1))
+	if err == nil {
+		t.Fatal("submit against a permanently full backend succeeded")
+	}
+	var backoffs []obs.Span
+	for _, sp := range tr.View().Spans {
+		if sp.Name == "backoff" {
+			backoffs = append(backoffs, sp)
+		}
+	}
+	if len(backoffs) != 2 { // 3 attempts -> 2 sleeps
+		t.Fatalf("backoff spans = %d, want 2: %+v", len(backoffs), backoffs)
+	}
+	for _, sp := range backoffs {
+		if sp.Arg != hs.URL {
+			t.Errorf("backoff arg = %q, want backend URL %q", sp.Arg, hs.URL)
+		}
+		if sp.Err == "" {
+			t.Errorf("backoff span missing its causing error: %+v", sp)
+		}
+	}
+}

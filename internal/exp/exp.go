@@ -20,8 +20,11 @@ package exp
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
+	"greendimm/internal/obs"
 	"greendimm/internal/sim"
 	"greendimm/internal/sweep"
 )
@@ -70,6 +73,19 @@ type Hooks struct {
 	// across all jobs so per-job parallelism and the worker pool compose
 	// instead of oversubscribing workers x NumCPU goroutines.
 	Limiter *sweep.Limiter
+	// Trace, when non-nil, receives one "cell" span per sweep cell (the
+	// span's Arg is the cell index), timing where a job's execution
+	// wall-time goes. Like every obs.Trace, recording is lock-free and a
+	// nil trace costs nothing — sweepCells skips the instrumented path
+	// entirely when both Trace and Progress are unset.
+	Trace *obs.Trace
+	// Progress, when non-nil, is called after each sweep cell completes
+	// with the number of cells done so far, the sweep's total, and the
+	// finished cell's wall-clock seconds. Calls are serialized (like
+	// Observe) so done is strictly increasing, but under a parallel
+	// sweep their order follows cell completion, not cell index. Pure
+	// observation: it must not influence results.
+	Progress func(done, total int, cellSeconds float64)
 }
 
 // newEngine builds an experiment engine with the hooks installed. All
@@ -112,18 +128,44 @@ func (o Options) sweepCells(n int, cell func(i int, h Hooks) error) error {
 	h := o.Hooks
 	if h.Observe != nil {
 		var mu sync.Mutex
-		obs := h.Observe
+		observe := h.Observe
 		h.Observe = func(e *sim.Engine) {
 			mu.Lock()
 			defer mu.Unlock()
-			obs(e)
+			observe(e)
+		}
+	}
+	// Cells get hooks without Trace/Progress: those two belong to this
+	// sweep level, and forwarding them into a cell that itself sweeps
+	// would double-count spans and interleave two progress totals.
+	ch := h
+	ch.Trace, ch.Progress = nil, nil
+	run := func(i int) error { return cell(i, ch) }
+	if h.Trace != nil || h.Progress != nil {
+		// Per-cell observability: a "cell" span per cell and a serialized
+		// completion callback. Wall-clock only — never feeds results.
+		var mu sync.Mutex
+		done := 0
+		run = func(i int) error {
+			start := time.Now()
+			sp := h.Trace.StartArg("cell", strconv.Itoa(i))
+			err := cell(i, ch)
+			sp.EndErr(err)
+			if h.Progress != nil {
+				secs := time.Since(start).Seconds()
+				mu.Lock()
+				done++
+				h.Progress(done, n, secs)
+				mu.Unlock()
+			}
+			return err
 		}
 	}
 	return sweep.Run(n, sweep.Config{
 		Parallelism: o.parallelism(),
 		Stop:        h.Stop,
 		Limiter:     h.Limiter,
-	}, func(i int) error { return cell(i, h) })
+	}, run)
 }
 
 // cellOptions returns o with the per-cell hooks substituted, for cells

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"testing"
+
+	"greendimm/internal/obs"
+)
+
+// TestSweepCellsTraceAndProgress: a traced sweep records exactly one
+// "cell" span per cell (Arg = the cell index), serializes Progress with
+// a strictly increasing done count, and strips both hooks from the
+// hooks handed to cells so nested sweeps cannot double-count.
+func TestSweepCellsTraceAndProgress(t *testing.T) {
+	const n = 12
+	tr := obs.NewTrace(0)
+	var dones []int
+	var totals []int
+	o := Options{
+		Parallelism: 4,
+		Hooks: Hooks{
+			Trace: tr,
+			Progress: func(done, total int, cellSeconds float64) {
+				// Serialized by sweepCells: no mutex needed here.
+				dones = append(dones, done)
+				totals = append(totals, total)
+				if cellSeconds < 0 {
+					t.Errorf("cellSeconds = %g, want >= 0", cellSeconds)
+				}
+			},
+		},
+	}
+	err := o.sweepCells(n, func(i int, h Hooks) error {
+		if h.Trace != nil || h.Progress != nil {
+			t.Errorf("cell %d received Trace/Progress hooks; they belong to the sweep level", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var args []int
+	for _, sp := range tr.View().Spans {
+		if sp.Name != "cell" {
+			t.Errorf("unexpected span %q", sp.Name)
+			continue
+		}
+		idx, err := strconv.Atoi(sp.Arg)
+		if err != nil {
+			t.Errorf("cell span arg %q is not an index", sp.Arg)
+			continue
+		}
+		args = append(args, idx)
+	}
+	sort.Ints(args)
+	if len(args) != n {
+		t.Fatalf("cell spans = %d, want %d", len(args), n)
+	}
+	for i, a := range args {
+		if a != i {
+			t.Fatalf("cell span indices = %v, want 0..%d each exactly once", args, n-1)
+		}
+	}
+
+	if len(dones) != n {
+		t.Fatalf("progress calls = %d, want %d", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("progress done[%d] = %d, want %d (strictly increasing)", i, d, i+1)
+		}
+		if totals[i] != n {
+			t.Errorf("progress total[%d] = %d, want %d", i, totals[i], n)
+		}
+	}
+}
+
+// TestSweepCellsTraceRecordsCellErrors: a failing cell's span carries
+// the error, and the untraced path stays untouched (nil hooks cost no
+// instrumentation and no spans).
+func TestSweepCellsTraceRecordsCellErrors(t *testing.T) {
+	tr := obs.NewTrace(0)
+	boom := errors.New("cell exploded")
+	o := Options{Parallelism: 1, Hooks: Hooks{Trace: tr}}
+	err := o.sweepCells(3, func(i int, h Hooks) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell error", err)
+	}
+	found := false
+	for _, sp := range tr.View().Spans {
+		if sp.Name == "cell" && sp.Arg == "1" && sp.Err == boom.Error() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cell span carries the error: %+v", tr.View().Spans)
+	}
+
+	// Hook-free sweeps record nothing anywhere (nil trace is a no-op).
+	if err := (Options{Parallelism: 2}).sweepCells(4, func(int, Hooks) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceDoesNotChangeResults pins the determinism contract for the
+// observability hooks: a fully instrumented run renders byte-identical
+// output to a bare one.
+func TestTraceDoesNotChangeResults(t *testing.T) {
+	run := func(h Hooks) string {
+		t.Helper()
+		tables, series, err := Registry()["ramzzz"](Options{Quick: true, Seed: 1, Parallelism: 2, Hooks: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, tb := range tables {
+			out += tb.String()
+		}
+		for _, s := range series {
+			out += s.Sparkline(40)
+		}
+		return out
+	}
+	bare := run(Hooks{})
+	traced := run(Hooks{Trace: obs.NewTrace(0), Progress: func(int, int, float64) {}})
+	if bare != traced {
+		t.Error("instrumented run differs from bare run; hooks must not influence results")
+	}
+}

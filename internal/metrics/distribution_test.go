@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDistributionInterleavedAddPercentile is the regression test for
+// the sort-memoization contract: Percentile sorts the sample slice once
+// on demand and reuses the sorted form until the next Add invalidates
+// it, and interleaving Adds with Percentile reads never yields answers
+// different from a fresh sort over the same samples.
+func TestDistributionInterleavedAddPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var d Distribution
+	var all []float64
+	check := func(p float64) {
+		t.Helper()
+		var ref Distribution
+		for _, v := range all {
+			ref.Add(v)
+		}
+		if got, want := d.Percentile(p), ref.Percentile(p); got != want {
+			t.Fatalf("after %d samples: Percentile(%g) = %g, fresh distribution says %g",
+				len(all), p, got, want)
+		}
+	}
+	for round := 0; round < 50; round++ {
+		// A burst of adds...
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			v := rng.NormFloat64() * 100
+			d.Add(v)
+			all = append(all, v)
+		}
+		// ...then interleaved reads, including repeats that must hit the
+		// memoized sorted form.
+		check(50)
+		check(99)
+		check(float64(rng.Intn(101)))
+		check(50)
+	}
+}
+
+// TestDistributionMemoizesSort pins the memoization state machine
+// directly: Percentile marks the samples sorted, repeated reads keep
+// that mark, and the next Add clears it.
+func TestDistributionMemoizesSort(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{9, 1, 5, 3} {
+		d.Add(v)
+	}
+	if d.sorted {
+		t.Fatal("freshly added samples marked sorted")
+	}
+	if got := d.Percentile(50); got != 3 { // nearest-rank over {1,3,5,9}
+		t.Fatalf("P50 = %g, want 3", got)
+	}
+	if !d.sorted {
+		t.Fatal("Percentile did not memoize the sort")
+	}
+	d.Percentile(90)
+	d.Max()
+	if !d.sorted {
+		t.Fatal("read-only calls invalidated the memo")
+	}
+	d.Add(0)
+	if d.sorted {
+		t.Fatal("Add did not invalidate the memo")
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Fatalf("min after invalidation = %g, want 0", got)
+	}
+}

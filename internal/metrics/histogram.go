@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe. Buckets are defined by strictly increasing upper bounds
+// (Prometheus "le" semantics: a value lands in the first bucket whose
+// bound is >= it); values above the last bound land in an implicit +Inf
+// overflow bucket. All state is atomic, so the serving stack observes
+// from worker goroutines without a lock and /metrics snapshots without
+// stopping the world.
+//
+// A nil *Histogram is a valid disabled histogram: Observe is a no-op and
+// every reader reports empty — the same nil-is-off contract as obs.Trace.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the extra slot is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which
+// must be non-empty and strictly increasing.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// LogBuckets returns log-spaced bounds from min to at least max with
+// perDecade buckets per factor of ten — the spacing latency histograms
+// want, where 1ms and 2ms must be distinguishable but 100s and 101s need
+// not be. min must be > 0 and max > min.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		panic(fmt.Sprintf("metrics: bad log bucket shape (%g, %g, %d)", min, max, perDecade))
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		// Derive each bound from the power directly so repeated
+		// multiplication cannot drift the grid.
+		b := min * math.Pow(10, float64(i)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
+}
+
+// NewLogHistogram is NewHistogram over LogBuckets(min, max, perDecade).
+func NewLogHistogram(min, max float64, perDecade int) *Histogram {
+	return NewHistogram(LogBuckets(min, max, perDecade))
+}
+
+// Observe records one sample. NaN samples are dropped — they would
+// poison the sum while landing in no meaningful bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sample sum.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf). Callers must
+// not mutate the returned slice.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts snapshots the per-bucket (non-cumulative) counts; the
+// last entry is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) as the upper bound
+// of the bucket containing that rank — a deliberate overestimate of at
+// most one bucket width, which log spacing keeps proportionally small.
+// Samples in the +Inf bucket resolve to the last finite bound. Returns 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}

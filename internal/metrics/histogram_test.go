@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// le is inclusive: a sample exactly on a bound lands in that bucket.
+	for _, v := range []float64{-5, 0, 1} { // underflow clamps into the first bucket
+		h.Observe(v)
+	}
+	h.Observe(1.0001) // just past a bound → next bucket
+	h.Observe(10)
+	h.Observe(100)
+	h.Observe(100.5) // past the last bound → +Inf overflow
+	h.Observe(1e9)
+
+	want := []int64{3, 2, 1, 2}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if s := h.Sum(); math.Abs(s-(-5+0+1+1.0001+10+100+100.5+1e9)) > 1e-6 {
+		t.Errorf("sum = %g", s)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+	// 10 samples: 5 in le=1, 4 in le=4, 1 overflow.
+	for i := 0; i < 5; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(3)
+	}
+	h.Observe(100)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},    // lowest-ranked sample's bucket bound
+		{0.5, 1},  // rank 5 is still in the first bucket
+		{0.9, 4},  // rank 9 lands in le=4
+		{0.99, 8}, // overflow resolves to the last finite bound
+		{1, 8},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramNilIsOff(t *testing.T) {
+	var h *Histogram
+	h.Observe(3) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.9) != 0 {
+		t.Error("nil histogram reported data")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Error("nil histogram reported buckets")
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 1)
+	want := []float64{0.001, 0.01, 0.1, 1, 10}
+	if len(b) != len(want) {
+		t.Fatalf("bounds = %v, want %v", b, want)
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	fine := LogBuckets(1, 10, 3)
+	for i := 1; i < len(fine); i++ {
+		if fine[i] <= fine[i-1] {
+			t.Fatalf("log bounds not increasing: %v", fine)
+		}
+	}
+	if last := fine[len(fine)-1]; last < 10 {
+		t.Errorf("last bound %g does not cover max", last)
+	}
+}
+
+// TestHistogramPromGolden pins the exact exposition bytes: cumulative
+// buckets, +Inf terminator, _sum and _count.
+func TestHistogramPromGolden(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	// Exactly-representable samples keep the _sum rendering stable.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(0.75)
+	h.Observe(5)
+	h.Observe(50) // overflow
+
+	var e Exposition
+	e.AddHistogram("greendimm_test_seconds", "Test latency.", h)
+	want := strings.Join([]string{
+		"# HELP greendimm_test_seconds Test latency.",
+		"# TYPE greendimm_test_seconds histogram",
+		`greendimm_test_seconds_bucket{le="0.1"} 1`,
+		`greendimm_test_seconds_bucket{le="1"} 3`,
+		`greendimm_test_seconds_bucket{le="10"} 4`,
+		`greendimm_test_seconds_bucket{le="+Inf"} 5`,
+		"greendimm_test_seconds_sum 56.3125",
+		"greendimm_test_seconds_count 5",
+		"",
+	}, "\n")
+	if got := e.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	var empty Exposition
+	empty.AddHistogram("x", "", nil)
+	if got := empty.String(); got != "# TYPE x histogram\nx_sum 0\nx_count 0\n" {
+		t.Errorf("nil histogram exposition = %q", got)
+	}
+}
+
+// FuzzHistogramCount checks the structural invariant the text encoding
+// leans on: _count equals the sum of the (non-cumulative) bucket
+// increments, for any observation sequence.
+func FuzzHistogramCount(f *testing.F) {
+	f.Add(0.5, 3.0, -1.0, uint8(7))
+	f.Add(0.0, 0.0, 1e300, uint8(1))
+	f.Add(math.Inf(1), 1e-9, 42.0, uint8(3))
+	f.Fuzz(func(t *testing.T, a, b, c float64, n uint8) {
+		h := NewLogHistogram(0.001, 100, 2)
+		vals := []float64{a, b, c}
+		total := int64(0)
+		for i := 0; i < int(n)+1; i++ {
+			v := vals[i%3]
+			h.Observe(v)
+			if !math.IsNaN(v) {
+				total++
+			}
+		}
+		var bucketSum int64
+		for _, c := range h.BucketCounts() {
+			bucketSum += c
+		}
+		if bucketSum != h.Count() || h.Count() != total {
+			t.Fatalf("count=%d bucketSum=%d observed=%d", h.Count(), bucketSum, total)
+		}
+	})
+}

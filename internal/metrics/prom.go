@@ -42,6 +42,31 @@ func (e *Exposition) Add(name, typ, help string, samples ...Sample) {
 	}
 }
 
+// AddHistogram appends one histogram family in the exposition format's
+// histogram shape: cumulative <name>_bucket{le="..."} series ending in
+// le="+Inf", then <name>_sum and <name>_count. A nil histogram renders
+// an empty (all-zero, no-bucket) family header only.
+func (e *Exposition) AddHistogram(name, help string, h *Histogram) {
+	if help != "" {
+		fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(&e.b, "# TYPE %s histogram\n", name)
+	if h == nil {
+		fmt.Fprintf(&e.b, "%s_sum 0\n%s_count 0\n", name, name)
+		return
+	}
+	var cum int64
+	counts := h.BucketCounts()
+	for i, le := range h.Bounds() {
+		cum += counts[i]
+		fmt.Fprintf(&e.b, "%s_bucket{le=%q} %d\n", name, formatValue(le), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(&e.b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(&e.b, "%s_sum %s\n", name, formatValue(h.Sum()))
+	fmt.Fprintf(&e.b, "%s_count %d\n", name, cum)
+}
+
 // String returns the accumulated exposition.
 func (e *Exposition) String() string { return e.b.String() }
 

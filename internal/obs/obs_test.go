@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRecordsSpans(t *testing.T) {
+	tr := NewTrace(16)
+	sp := tr.StartArg("execute", "job1")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Add("queue_wait", "", tr.Epoch(), 5*time.Millisecond, nil)
+	tr.Mark("failover", "http://b")
+	tr.Start("broken").EndErr(errors.New("boom"))
+
+	v := tr.View()
+	if len(v.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(v.Spans), v.Spans)
+	}
+	// Sorted by start: queue_wait starts at the epoch (offset 0).
+	if v.Spans[0].Name != "queue_wait" || v.Spans[0].StartNs != 0 {
+		t.Errorf("first span = %+v, want queue_wait at 0", v.Spans[0])
+	}
+	byName := map[string]Span{}
+	for _, s := range v.Spans {
+		byName[s.Name] = s
+	}
+	if s := byName["execute"]; s.Arg != "job1" || s.DurNs < int64(time.Millisecond) {
+		t.Errorf("execute span = %+v", s)
+	}
+	if s := byName["failover"]; s.DurNs != 0 || s.Arg != "http://b" {
+		t.Errorf("mark span = %+v", s)
+	}
+	if s := byName["broken"]; s.Err != "boom" {
+		t.Errorf("error span = %+v", s)
+	}
+	if v.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", v.Dropped)
+	}
+}
+
+// TestTraceOverflowDrops checks the ring bounds memory: spans beyond
+// capacity are counted, not stored, and never corrupt stored ones.
+func TestTraceOverflowDrops(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Mark("m", fmt.Sprint(i))
+	}
+	v := tr.View()
+	if len(v.Spans) != 4 {
+		t.Fatalf("stored %d spans, want 4", len(v.Spans))
+	}
+	if v.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6", v.Dropped)
+	}
+}
+
+// TestTraceConcurrentAppend hammers the ring from many goroutines while
+// a reader snapshots it — the lock-free contract under the race
+// detector.
+func TestTraceConcurrentAppend(t *testing.T) {
+	const writers, per = 8, 50
+	tr := NewTrace(writers * per)
+	var wg sync.WaitGroup
+	stopRead := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: View must never tear
+		defer wg.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+				for _, s := range tr.View().Spans {
+					if s.Name == "" {
+						t.Error("torn span observed")
+						return
+					}
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.StartArg("cell", fmt.Sprint(w))
+				sp.End()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stopRead)
+	wg.Wait()
+	v := tr.View()
+	if len(v.Spans) != writers*per || v.Dropped != 0 {
+		t.Fatalf("spans=%d dropped=%d, want %d/0", len(v.Spans), v.Dropped, writers*per)
+	}
+	for i := 1; i < len(v.Spans); i++ {
+		if v.Spans[i].StartNs < v.Spans[i-1].StartNs {
+			t.Fatal("View not sorted by start")
+		}
+	}
+}
+
+// TestNilTraceIsFreeAndSafe locks in the disabled-cost contract: every
+// operation on a nil trace is a no-op and allocates nothing.
+func TestNilTraceIsFreeAndSafe(t *testing.T) {
+	var tr *Trace
+	avg := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartArg("x", "y")
+		sp.End()
+		sp.EndErr(nil)
+		tr.Mark("m", "")
+		tr.Add("a", "", time.Time{}, 0, nil)
+	})
+	if avg != 0 {
+		t.Fatalf("disabled trace costs %.2f allocs/op, want 0", avg)
+	}
+	if v := tr.View(); len(v.Spans) != 0 || v.Dropped != 0 {
+		t.Errorf("nil view = %+v", v)
+	}
+	if !tr.Epoch().IsZero() {
+		t.Error("nil epoch not zero")
+	}
+}
+
+func TestContextCarriesTrace(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr := NewTrace(4)
+	ctx := ContextWith(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through context")
+	}
+	if got := ContextWith(context.Background(), nil); FromContext(got) != nil {
+		t.Fatal("nil trace should leave context bare")
+	}
+}
+
+func TestTraceViewJSON(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Start("execute").End()
+	b, err := json.Marshal(tr.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceView
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Name != "execute" {
+		t.Fatalf("round-trip = %+v", back)
+	}
+}

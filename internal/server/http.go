@@ -12,28 +12,66 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /v1/jobs       submit a JobSpec; 202 queued, 200 cache hit,
-//	                      400 invalid, 429 queue full, 503 draining
-//	GET    /v1/jobs       list retained jobs (no results)
-//	GET    /v1/jobs/{id}  one job, with result once succeeded;
-//	                      ?wait=30s blocks until terminal or timeout
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness + drain state
-//	GET    /metrics       Prometheus text format
+//	POST   /v1/jobs             submit a JobSpec; 202 queued, 200 cache
+//	                            hit, 400 invalid, 429 queue full, 503
+//	                            draining
+//	GET    /v1/jobs             list retained jobs (no results);
+//	                            ?status= filters, ?limit=/&offset= page
+//	GET    /v1/jobs/{id}        one job, with result once succeeded;
+//	                            ?wait=30s blocks until terminal or
+//	                            timeout
+//	GET    /v1/jobs/{id}/trace  the job's lifecycle trace (obs.TraceView)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text format
+//
+// Every error response carries the v1 envelope: {"error": {"code":
+// "<machine code>", "message": "...", "retry_after_s": N}} where code
+// is one of the Code constants and retry_after_s appears only on
+// queue_full.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
-// apiError is the JSON error envelope.
-type apiError struct {
-	Error string `json:"error"`
+// Machine-readable error codes, stable across releases: clients switch
+// on these instead of matching message strings or bare HTTP statuses.
+const (
+	CodeInvalidSpec = "invalid_spec" // 400: malformed body or failed validation
+	CodeQueueFull   = "queue_full"   // 429: bounded queue rejected the job
+	CodeDraining    = "draining"     // 503: shutting down, accepting no work
+	CodeNotFound    = "not_found"    // 404: unknown job id
+	CodeInternal    = "internal"     // 500: anything else
+)
+
+// ErrorBody is the payload of the v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterS mirrors the Retry-After header on queue_full, for
+	// clients that only read bodies.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}
+
+// ErrorEnvelope is the JSON shape of every v1 error response.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError emits the envelope. retryAfterS > 0 also sets the
+// Retry-After header.
+func writeError(w http.ResponseWriter, status int, code, message string, retryAfterS int) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
+	}
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Message: message, RetryAfterS: retryAfterS}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -49,23 +87,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields() // catch misspelled knobs instead of silently defaulting
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("decoding job spec: %v", err), 0)
 		return
 	}
 	v, err := s.Submit(spec)
 	var invalid *InvalidSpecError
 	switch {
 	case errors.As(err, &invalid):
-		writeJSON(w, http.StatusBadRequest, apiError{Error: invalid.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, invalid.Error(), 0)
 	case errors.Is(err, ErrQueueFull):
-		// The hint tracks the mean job wall time so cluster backoff can
+		// The hint tracks the p90 job wall time so cluster backoff can
 		// wait roughly one queue-slot turnover instead of hammering.
-		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, err.Error(), s.RetryAfterHint())
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, err.Error(), 0)
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
 	case v.Cached:
 		w.Header().Set("Location", "/v1/jobs/"+v.ID)
 		writeJSON(w, http.StatusOK, v)
@@ -76,9 +113,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q, err := parseListQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error(), 0)
+		return
+	}
+	jobs, total := s.List(q)
 	writeJSON(w, http.StatusOK, struct {
-		Jobs []JobView `json:"jobs"`
-	}{Jobs: s.List()})
+		Jobs  []JobView `json:"jobs"`
+		Total int       `json:"total"`
+	}{Jobs: jobs, Total: total})
+}
+
+// parseListQuery validates ?status=, ?limit= and ?offset=.
+func parseListQuery(r *http.Request) (ListQuery, error) {
+	var q ListQuery
+	vals := r.URL.Query()
+	if st := vals.Get("status"); st != "" {
+		switch s := JobState(st); s {
+		case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled:
+			q.Status = s
+		default:
+			return q, fmt.Errorf("unknown status %q", st)
+		}
+	}
+	for name, dst := range map[string]*int{"limit": &q.Limit, "offset": &q.Offset} {
+		if raw := vals.Get(name); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				return q, fmt.Errorf("invalid %s %q", name, raw)
+			}
+			*dst = n
+		}
+	}
+	return q, nil
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -100,25 +168,35 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 				writeJSON(w, http.StatusOK, v)
 				return
 			}
-			writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+			writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
 		default:
-			writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+			writeError(w, http.StatusNotFound, CodeNotFound, err.Error(), 0)
 		}
 		return
 	}
 	v, ok := s.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tv, ok := s.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, tv)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.Cancel(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job "+id, 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)

@@ -172,7 +172,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
 	s := New(Config{Workers: 1, QueueDepth: 1,
-		Runner: func(JobSpec, func() bool) (*Result, error) {
+		Runner: func(JobSpec, RunHooks) (*Result, error) {
 			started <- struct{}{}
 			<-release
 			return &Result{}, nil
@@ -200,7 +200,7 @@ func TestHTTPQueueFull429(t *testing.T) {
 
 func TestHTTPBadRequests(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 1,
-		Runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
+		Runner: func(JobSpec, RunHooks) (*Result, error) { return &Result{}, nil }})
 	defer shutdown(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -275,8 +275,19 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 		"greendimm_cache_misses_total 1",
 		"greendimm_cache_entries 1",
 		`greendimm_jobs_rejected_total{reason="queue_full"} 0`,
-		"greendimm_job_seconds_count 1",
 		"greendimm_up 1",
+		// Lifecycle latency histograms (one executed job each for wall
+		// time and queue wait; cell-level sweeps don't fire for this job
+		// shape, but the series must still be exported).
+		"# TYPE greendimm_job_wall_seconds histogram",
+		"greendimm_job_wall_seconds_count 1",
+		`greendimm_job_wall_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE greendimm_job_queue_wait_seconds histogram",
+		"greendimm_job_queue_wait_seconds_count 1",
+		"# TYPE greendimm_job_cell_seconds histogram",
+		// In-flight progress gauges (idle here, but always exported).
+		"greendimm_cells_running_done 0",
+		"greendimm_cells_running_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)
@@ -305,7 +316,7 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 
 func TestHTTPListJobs(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 8,
-		Runner: func(JobSpec, func() bool) (*Result, error) { return &Result{}, nil }})
+		Runner: func(JobSpec, RunHooks) (*Result, error) { return &Result{}, nil }})
 	defer shutdown(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -321,13 +332,17 @@ func TestHTTPListJobs(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var out struct {
-		Jobs []JobView `json:"jobs"`
+		Jobs  []JobView `json:"jobs"`
+		Total int       `json:"total"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	if len(out.Jobs) != 2 || out.Jobs[0].ID != v1.ID || out.Jobs[1].ID != v2.ID {
 		t.Errorf("list = %+v", out.Jobs)
+	}
+	if out.Total != 2 {
+		t.Errorf("total = %d, want 2", out.Total)
 	}
 	for _, j := range out.Jobs {
 		if j.Result != nil {

@@ -43,10 +43,16 @@ func (s *Server) renderMetrics() string {
 		metrics.V(float64(st.cacheSize)))
 	e.Add("greendimm_job_sim_seconds_sum", "counter", "Total simulated seconds advanced by succeeded jobs.",
 		metrics.V(st.simSecondsSum))
-	e.Add("greendimm_job_wall_seconds_sum", "counter", "Total wall-clock seconds spent executing succeeded jobs.",
-		metrics.V(st.wallSecondsSum))
-	e.Add("greendimm_job_seconds_count", "counter", "Succeeded jobs contributing to the sim/wall sums.",
-		metrics.V(float64(st.succeeded)))
+	e.Add("greendimm_cells_running_done", "gauge", "Sweep cells completed so far across currently running jobs.",
+		metrics.V(float64(st.cellsDoneRunning)))
+	e.Add("greendimm_cells_running_total", "gauge", "Sweep cells planned across currently running jobs.",
+		metrics.V(float64(st.cellsTotalRunning)))
+	e.AddHistogram("greendimm_job_wall_seconds", "Wall-clock execution time per job (all outcomes, cache hits excluded).",
+		s.histWall)
+	e.AddHistogram("greendimm_job_queue_wait_seconds", "Time from submission to execution start.",
+		s.histQueue)
+	e.AddHistogram("greendimm_job_cell_seconds", "Wall-clock time per sweep cell.",
+		s.histCell)
 	return e.String()
 }
 

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"greendimm/internal/obs"
+)
+
+// getTrace fetches and decodes GET /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, ts *httptest.Server, id string) obs.TraceView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET trace %s: %d %s", id, resp.StatusCode, b)
+	}
+	var tv obs.TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	return tv
+}
+
+// spanNames counts spans by name.
+func spanNames(tv obs.TraceView) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range tv.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+// TestHTTPTraceEndpoint is the tentpole acceptance check: a real job
+// round-tripped through the daemon exposes its lifecycle trace over the
+// API, with the queue wait, the execute interval, and at least one
+// sweep-cell span on the timeline.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "ramzzz", Quick: true, Seed: 1}}
+	_, v := postJob(t, ts, spec)
+	if v = getJob(t, ts, v.ID, "?wait=60s"); v.State != StateSucceeded {
+		t.Fatalf("job: %+v", v)
+	}
+
+	tv := getTrace(t, ts, v.ID)
+	names := spanNames(tv)
+	if names["queue_wait"] != 1 {
+		t.Errorf("queue_wait spans = %d, want 1 (%v)", names["queue_wait"], names)
+	}
+	if names["execute"] != 1 {
+		t.Errorf("execute spans = %d, want 1 (%v)", names["execute"], names)
+	}
+	if names["cell"] < 1 {
+		t.Errorf("cell spans = %d, want >= 1 (%v)", names["cell"], names)
+	}
+	if tv.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 at default capacity", tv.Dropped)
+	}
+	// Spans arrive sorted by start; queue_wait precedes execute precedes
+	// the first cell.
+	idx := map[string]int{}
+	for i, sp := range tv.Spans {
+		if _, seen := idx[sp.Name]; !seen {
+			idx[sp.Name] = i
+		}
+	}
+	if !(idx["queue_wait"] < idx["execute"] && idx["execute"] < idx["cell"]) {
+		t.Errorf("span order wrong: %v", tv.Spans)
+	}
+	// Cell spans nest inside the execute interval.
+	exec := tv.Spans[idx["execute"]]
+	for _, sp := range tv.Spans {
+		if sp.Name == "cell" && (sp.StartNs < exec.StartNs || sp.StartNs+sp.DurNs > exec.StartNs+exec.DurNs+int64(time.Millisecond)) {
+			t.Errorf("cell span %+v escapes execute %+v", sp, exec)
+		}
+	}
+
+	// A cache hit gets its own (tiny) trace marking the hit.
+	_, v2 := postJob(t, ts, spec)
+	if !v2.Cached {
+		t.Fatalf("expected cache hit, got %+v", v2)
+	}
+	if names := spanNames(getTrace(t, ts, v2.ID)); names["cache_hit"] != 1 {
+		t.Errorf("cache-hit trace = %v, want one cache_hit mark", names)
+	}
+}
+
+// decodeEnvelope reads a response body as the v1 error envelope, failing
+// the test if the shape is anything else.
+func decodeEnvelope(t *testing.T, resp *http.Response) ErrorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v\n%s", err, b)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", b)
+	}
+	return env.Error
+}
+
+// TestHTTPErrorEnvelope walks every handler error path and requires the
+// uniform v1 envelope with its machine code.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := New(Config{Workers: 1, QueueDepth: 1,
+		Runner: func(JobSpec, RunHooks) (*Result, error) {
+			started <- struct{}{}
+			<-release
+			return &Result{}, nil
+		}})
+	defer func() { close(release); shutdown(t, s) }()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// 400 invalid_spec: malformed JSON, unknown experiment, bad list params.
+	for _, resp := range []*http.Response{
+		post(`{`),
+		post(`{"kind":"experiment","experiment":{"id":"fig99"}}`),
+		get("/v1/jobs?status=bogus"),
+		get("/v1/jobs?limit=-3"),
+		get("/v1/jobs?offset=x"),
+	} {
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status = %d, want 400", resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, resp); e.Code != CodeInvalidSpec {
+			t.Errorf("code = %q, want %q", e.Code, CodeInvalidSpec)
+		}
+	}
+
+	// 404 not_found on every id-addressed route.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/junk", nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, resp := range []*http.Response{
+		get("/v1/jobs/junk"),
+		get("/v1/jobs/junk/trace"),
+		get("/v1/jobs/junk?wait=10ms"),
+		del,
+	} {
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("status = %d, want 404", resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, resp); e.Code != CodeNotFound {
+			t.Errorf("code = %q, want %q", e.Code, CodeNotFound)
+		}
+	}
+
+	// 429 queue_full once a job is running and the single queue slot is
+	// taken; the envelope's retry_after_s mirrors the Retry-After header.
+	if resp, _ := postJob(t, ts, specN(1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: %d", resp.StatusCode)
+	}
+	<-started
+	if resp, _ := postJob(t, ts, specN(2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 2: %d", resp.StatusCode)
+	}
+	resp := post(`{"kind":"experiment","experiment":{"id":"hwcost","seed":3}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	header := resp.Header.Get("Retry-After")
+	e := decodeEnvelope(t, resp)
+	if e.Code != CodeQueueFull {
+		t.Errorf("code = %q, want %q", e.Code, CodeQueueFull)
+	}
+	if e.RetryAfterS < 1 {
+		t.Errorf("retry_after_s = %d, want >= 1", e.RetryAfterS)
+	}
+	if header != strconv.Itoa(e.RetryAfterS) {
+		t.Errorf("Retry-After header %q != envelope retry_after_s %d", header, e.RetryAfterS)
+	}
+}
+
+// TestHTTPDrainingEnvelope: submissions during shutdown get 503 with the
+// draining code.
+func TestHTTPDrainingEnvelope(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1,
+		Runner: func(JobSpec, RunHooks) (*Result, error) { return &Result{}, nil }})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	shutdown(t, s)
+
+	resp, _ := postJob(t, ts, specN(1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"experiment","experiment":{"id":"hwcost"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := decodeEnvelope(t, resp2); e.Code != CodeDraining {
+		t.Errorf("code = %q, want %q", e.Code, CodeDraining)
+	}
+}
+
+// TestHTTPListFilterAndPage covers ?status=, ?limit=, ?offset= and the
+// total field: total counts post-filter matches, pages slice the stable
+// submission order.
+func TestHTTPListFilterAndPage(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8,
+		Runner: func(spec JobSpec, h RunHooks) (*Result, error) {
+			if spec.Experiment.Seed == 2 {
+				return nil, errors.New("injected failure")
+			}
+			return &Result{}, nil
+		}})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids := make([]string, 5)
+	for i := range ids {
+		_, v := postJob(t, ts, specN(int64(i+1)))
+		getJob(t, ts, v.ID, "?wait=30s")
+		ids[i] = v.ID
+	}
+
+	list := func(query string) (jobs []JobView, total int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Jobs  []JobView `json:"jobs"`
+			Total int       `json:"total"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Jobs, out.Total
+	}
+
+	if jobs, total := list(""); len(jobs) != 5 || total != 5 {
+		t.Errorf("unfiltered: %d jobs, total %d, want 5/5", len(jobs), total)
+	}
+	jobs, total := list("?status=succeeded")
+	if len(jobs) != 4 || total != 4 {
+		t.Errorf("succeeded: %d jobs, total %d, want 4/4", len(jobs), total)
+	}
+	jobs, total = list("?status=failed")
+	if len(jobs) != 1 || total != 1 || jobs[0].ID != ids[1] {
+		t.Errorf("failed: %+v total %d, want just %s", jobs, total, ids[1])
+	}
+	// Pages keep submission order and report the pre-page total.
+	jobs, total = list("?limit=2")
+	if total != 5 || len(jobs) != 2 || jobs[0].ID != ids[0] || jobs[1].ID != ids[1] {
+		t.Errorf("limit=2: %+v total %d", jobs, total)
+	}
+	jobs, total = list("?limit=2&offset=4")
+	if total != 5 || len(jobs) != 1 || jobs[0].ID != ids[4] {
+		t.Errorf("limit=2&offset=4: %+v total %d", jobs, total)
+	}
+	if jobs, total = list("?offset=99"); total != 5 || len(jobs) != 0 {
+		t.Errorf("offset past end: %d jobs, total %d, want 0/5", len(jobs), total)
+	}
+	// Filter and page compose: the second page of succeeded jobs.
+	jobs, total = list("?status=succeeded&limit=2&offset=2")
+	if total != 4 || len(jobs) != 2 || jobs[0].ID != ids[3] || jobs[1].ID != ids[4] {
+		t.Errorf("succeeded page 2: %+v total %d", jobs, total)
+	}
+}
+
+// TestHTTPProgressAndGauges: a running job's Progress hook shows up in
+// its JobView (cells_done/cells_total) and in the in-flight Prometheus
+// gauges; after it finishes, the view keeps the final progress and gains
+// queue_wait_ms, and the gauges fall back to zero.
+func TestHTTPProgressAndGauges(t *testing.T) {
+	release := make(chan struct{})
+	reported := make(chan struct{})
+	s := New(Config{Workers: 1, QueueDepth: 4,
+		Runner: func(spec JobSpec, h RunHooks) (*Result, error) {
+			h.Progress(1, 3, 0.25)
+			close(reported)
+			<-release
+			h.Progress(3, 3, 0.1)
+			return &Result{}, nil
+		}})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, v := postJob(t, ts, specN(1))
+	<-reported
+
+	mid := getJob(t, ts, v.ID, "")
+	if mid.Progress == nil || mid.Progress.CellsDone != 1 || mid.Progress.CellsTotal != 3 {
+		t.Fatalf("mid-run progress = %+v, want 1/3", mid.Progress)
+	}
+	body := s.renderMetrics()
+	for _, want := range []string{"greendimm_cells_running_done 1", "greendimm_cells_running_total 3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q during run\n%s", want, body)
+		}
+	}
+
+	close(release)
+	fin := getJob(t, ts, v.ID, "?wait=30s")
+	if fin.State != StateSucceeded {
+		t.Fatalf("job: %+v", fin)
+	}
+	if fin.Progress == nil || fin.Progress.CellsDone != 3 || fin.Progress.CellsTotal != 3 {
+		t.Errorf("final progress = %+v, want 3/3", fin.Progress)
+	}
+	if fin.QueueWaitMS < 0 {
+		t.Errorf("queue_wait_ms = %g, want >= 0", fin.QueueWaitMS)
+	}
+	body = s.renderMetrics()
+	for _, want := range []string{
+		"greendimm_cells_running_done 0",
+		"greendimm_cells_running_total 0",
+		"greendimm_job_cell_seconds_count 2", // both Progress calls observed
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q after finish\n%s", want, body)
+		}
+	}
+}

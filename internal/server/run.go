@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"greendimm/internal/exp"
+	"greendimm/internal/obs"
 	"greendimm/internal/report"
 	"greendimm/internal/sim"
 	"greendimm/internal/sweep"
@@ -29,42 +30,65 @@ type Result struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// RunHooks carries one execution's cancellation and observability hooks
+// — the server's worker pool fills all three; library callers (the CLI,
+// the cluster's local fallback) pass what they need. Every field is
+// optional; the zero RunHooks runs uninstrumented and never stops. None
+// of them influence results: they gate whether a run proceeds and record
+// where its wall time went, nothing else.
+type RunHooks struct {
+	// Stop (nil = never) is polled from the engines' event loops and
+	// between sweep cells; true aborts the run, whose partial result must
+	// then be discarded.
+	Stop func() bool
+	// Trace, when non-nil, receives per-cell "cell" spans via exp.Hooks.
+	Trace *obs.Trace
+	// Progress, when non-nil, is called after each sweep cell completes
+	// (serialized; see exp.Hooks.Progress).
+	Progress func(done, total int, cellSeconds float64)
+}
+
+// stop returns the effective stop predicate, never nil.
+func (h RunHooks) stop() func() bool {
+	if h.Stop == nil {
+		return func() bool { return false }
+	}
+	return h.Stop
+}
+
 // Execute runs one job spec in-process, outside any worker pool: it
 // normalizes the spec and executes it serially with no sweep budget.
 // This is the cluster dispatcher's local-fallback path; because runSpec
 // is deterministic, the Result (minus WallSeconds, which Execute leaves
 // zero) is byte-identical to what any greendimmd backend returns for the
-// same spec. stop (nil = never) is polled from the engines' event loops.
-func Execute(spec JobSpec, stop func() bool) (*Result, error) {
+// same spec.
+func Execute(spec JobSpec, h RunHooks) (*Result, error) {
 	norm, err := spec.normalized()
 	if err != nil {
 		return nil, &InvalidSpecError{Err: err}
 	}
-	if stop == nil {
-		stop = func() bool { return false }
-	}
-	return runSpec(norm, stop, nil)
+	return runSpec(norm, h, nil)
 }
 
-// runSpec executes a normalized spec. stop is polled from the engines'
-// event loops; when it reports true the run aborts and runSpec's result
-// must be discarded (the pool checks its job context, which is what stop
-// watches). limiter (nil = unbounded) gates any extra sweep workers the
-// job's parallelism requests, so per-job fan-out and the worker pool
-// share one CPU budget. Deterministic: the same spec always yields the
-// same Tables, Series, VMDay and Text, at every parallelism.
-func runSpec(spec JobSpec, stop func() bool, limiter *sweep.Limiter) (*Result, error) {
+// runSpec executes a normalized spec under h's hooks. limiter (nil =
+// unbounded) gates any extra sweep workers the job's parallelism
+// requests, so per-job fan-out and the worker pool share one CPU
+// budget. Deterministic: the same spec always yields the same Tables,
+// Series, VMDay and Text, at every parallelism and under any hooks.
+func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter) (*Result, error) {
 	// Observe is called from concurrent sweep cells when parallelism > 1.
 	var mu sync.Mutex
 	var engines []*sim.Engine
 	hooks := exp.Hooks{
-		Stop: stop,
+		Stop: h.stop(),
 		Observe: func(e *sim.Engine) {
 			mu.Lock()
 			engines = append(engines, e)
 			mu.Unlock()
 		},
-		Limiter: limiter,
+		Limiter:  limiter,
+		Trace:    h.Trace,
+		Progress: h.Progress,
 	}
 	parallelism := spec.Parallelism
 	if parallelism == 0 {

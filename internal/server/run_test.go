@@ -23,12 +23,11 @@ func TestRunSpecParallelMatchesSerial(t *testing.T) {
 		}
 		return norm
 	}
-	never := func() bool { return false }
-	serial, err := runSpec(mk(0), never, nil)
+	serial, err := runSpec(mk(0), RunHooks{}, nil)
 	if err != nil {
 		t.Fatalf("serial run: %v", err)
 	}
-	parallel, err := runSpec(mk(8), never, sweep.NewLimiter(8))
+	parallel, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(8))
 	if err != nil {
 		t.Fatalf("parallel run: %v", err)
 	}
@@ -38,7 +37,7 @@ func TestRunSpecParallelMatchesSerial(t *testing.T) {
 	}
 	// A zero-slot budget must still make progress (each job's own worker
 	// never needs a slot).
-	starved, err := runSpec(mk(8), never, sweep.NewLimiter(0))
+	starved, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(0))
 	if err != nil {
 		t.Fatalf("starved run: %v", err)
 	}

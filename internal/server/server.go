@@ -8,8 +8,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"greendimm/internal/metrics"
+	"greendimm/internal/obs"
 	"greendimm/internal/sweep"
 )
 
@@ -73,8 +76,15 @@ type Config struct {
 
 	// Runner is the execution function — a test seam (used by the
 	// server's own tests and internal/cluster's fault-injection
-	// backends); nil means runSpec (the real simulator).
-	Runner func(JobSpec, func() bool) (*Result, error)
+	// backends); nil means runSpec (the real simulator). The pool fills
+	// every RunHooks field; fake runners may ignore what they don't
+	// need.
+	Runner func(JobSpec, RunHooks) (*Result, error)
+
+	// TraceCapacity bounds each job's span ring (default
+	// obs.DefaultCapacity). Spans beyond it are counted as dropped, not
+	// stored.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,12 +109,15 @@ func (c Config) withDefaults() Config {
 	if c.CPUBudget <= 0 {
 		c.CPUBudget = runtime.GOMAXPROCS(0)
 	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = obs.DefaultCapacity
+	}
 	if c.Runner == nil {
 		// Extra sweep workers (beyond each job's own pool worker) draw
 		// from the budget left over after the worker pool is staffed.
 		limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
-		c.Runner = func(spec JobSpec, stop func() bool) (*Result, error) {
-			return runSpec(spec, stop, limiter)
+		c.Runner = func(spec JobSpec, h RunHooks) (*Result, error) {
+			return runSpec(spec, h, limiter)
 		}
 	}
 	return c
@@ -122,24 +135,44 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	trace     *obs.Trace // lifecycle spans; never nil for executed jobs
+
+	// Sweep-cell progress, written by the runner's Progress hook while
+	// the job executes and read by view/snapshot — atomics, because the
+	// readers hold mu but the writer must not.
+	cellsDone  atomic.Int64
+	cellsTotal atomic.Int64
 
 	cancelRequested bool
 	cancel          context.CancelFunc // set while running
 	done            chan struct{}      // closed on terminal state
 }
 
-// JobView is the JSON snapshot of a job returned by the API.
+// ProgressView reports how far a job's sweep has come: cells_done of
+// cells_total completed. Jobs without an internal sweep (VM scenarios)
+// never report progress.
+type ProgressView struct {
+	CellsDone  int `json:"cells_done"`
+	CellsTotal int `json:"cells_total"`
+}
+
+// JobView is the JSON snapshot of a job returned by the API. Progress
+// and QueueWaitMS are additive observability fields: like every field
+// here other than Spec, they are excluded from the spec hash and so
+// never influence caching or cluster merge fingerprints.
 type JobView struct {
-	ID          string     `json:"id"`
-	SpecHash    string     `json:"spec_hash"`
-	State       JobState   `json:"state"`
-	Cached      bool       `json:"cached,omitempty"`
-	Error       string     `json:"error,omitempty"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	Spec        JobSpec    `json:"spec"`
-	Result      *Result    `json:"result,omitempty"`
+	ID          string        `json:"id"`
+	SpecHash    string        `json:"spec_hash"`
+	State       JobState      `json:"state"`
+	Cached      bool          `json:"cached,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Progress    *ProgressView `json:"progress,omitempty"`
+	QueueWaitMS float64       `json:"queue_wait_ms,omitempty"`
+	Spec        JobSpec       `json:"spec"`
+	Result      *Result       `json:"result,omitempty"`
 }
 
 // counters aggregates service activity for /metrics. Guarded by Server.mu.
@@ -154,7 +187,6 @@ type counters struct {
 	cacheHits        int64
 	cacheMisses      int64
 	simSecondsSum    float64 // over succeeded jobs
-	wallSecondsSum   float64
 }
 
 type cacheEntry struct {
@@ -182,6 +214,13 @@ type Server struct {
 	cache    map[string]*list.Element
 	lru      *list.List // front = most recent; values are cacheEntry
 
+	// Latency histograms, lock-free (observed outside mu). Buckets span
+	// 1ms..1h, 3 per decade — wide enough for quick CI specs and full
+	// paper sweeps alike.
+	histWall  *metrics.Histogram // executed jobs' wall time (all outcomes)
+	histQueue *metrics.Histogram // queue wait, submit → execution start
+	histCell  *metrics.Histogram // individual sweep-cell wall time
+
 	wg sync.WaitGroup
 }
 
@@ -197,6 +236,9 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueDepth),
 		cache:     make(map[string]*list.Element),
 		lru:       list.New(),
+		histWall:  metrics.NewLogHistogram(0.001, 3600, 3),
+		histQueue: metrics.NewLogHistogram(0.001, 3600, 3),
+		histCell:  metrics.NewLogHistogram(0.001, 3600, 3),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -243,11 +285,16 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 		j.cached = true
 		j.result = res
 		j.started, j.finished = j.submitted, j.submitted
+		// Cache hits get a minimal trace: one mark, so the trace endpoint
+		// answers for every job id and shows why there is no execute span.
+		j.trace = obs.NewTrace(1)
+		j.trace.Mark("cache_hit", "")
 		close(j.done)
 		s.record(j)
 		return s.view(j, true), nil
 	}
 	j.state = StateQueued
+	j.trace = obs.NewTrace(s.cfg.TraceCapacity)
 	select {
 	case s.queue <- j:
 	default:
@@ -316,11 +363,29 @@ func (s *Server) runJob(j *job) {
 	spec := j.spec
 	s.mu.Unlock()
 
+	// Queue wait is an after-the-fact span: the interval from submission
+	// to this worker picking the job up.
+	qw := j.started.Sub(j.submitted)
+	j.trace.Add("queue_wait", "", j.submitted, qw, nil)
+	s.histQueue.Observe(qw.Seconds())
+
 	// The stop predicate is the cancel check the engines' event loops
 	// poll: deadline, client cancel and shutdown-force all flow through
-	// this one context.
-	res, err := runner(spec, func() bool { return ctx.Err() != nil })
+	// this one context. Trace and Progress write through lock-free /
+	// atomic paths, so the running job never touches s.mu.
+	sp := j.trace.Start("execute")
+	res, err := runner(spec, RunHooks{
+		Stop:  func() bool { return ctx.Err() != nil },
+		Trace: j.trace,
+		Progress: func(done, total int, cellSeconds float64) {
+			j.cellsDone.Store(int64(done))
+			j.cellsTotal.Store(int64(total))
+			s.histCell.Observe(cellSeconds)
+		},
+	})
+	sp.EndErr(err)
 	wall := time.Since(j.started).Seconds()
+	s.histWall.Observe(wall)
 	ctxErr := ctx.Err()
 	cancel()
 
@@ -354,7 +419,6 @@ func (s *Server) runJob(j *job) {
 		j.result = res
 		s.ctr.succeeded++
 		s.ctr.simSecondsSum += res.SimSeconds
-		s.ctr.wallSecondsSum += wall
 		s.cachePut(j.hash, res)
 	}
 	close(j.done)
@@ -405,6 +469,15 @@ func (s *Server) view(j *job, includeResult bool) JobView {
 		t := j.finished
 		v.FinishedAt = &t
 	}
+	if total := j.cellsTotal.Load(); total > 0 {
+		v.Progress = &ProgressView{
+			CellsDone:  int(j.cellsDone.Load()),
+			CellsTotal: int(total),
+		}
+	}
+	if !j.started.IsZero() && !j.cached {
+		v.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	}
 	if includeResult && j.state == StateSucceeded {
 		v.Result = j.result
 	}
@@ -422,17 +495,60 @@ func (s *Server) Get(id string) (JobView, bool) {
 	return s.view(j, true), true
 }
 
-// List returns every retained job in submission order, without results.
-func (s *Server) List() []JobView {
+// ListQuery filters and paginates List. The zero query selects every
+// retained job.
+type ListQuery struct {
+	// Status, when non-empty, keeps only jobs in that state.
+	Status JobState
+	// Limit bounds the page size (0 = no bound); Offset skips that many
+	// matching jobs first. Both apply after the Status filter, over the
+	// deterministic submission order.
+	Limit  int
+	Offset int
+}
+
+// List returns retained jobs in submission order, without results,
+// after applying q's filter and pagination. The second return is the
+// total number of jobs matching the filter before pagination, so
+// clients can page without racing a moving tail.
+func (s *Server) List(q ListQuery) ([]JobView, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]JobView, 0, len(s.order))
+	matched := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok {
-			out = append(out, s.view(j, false))
+		if j, ok := s.jobs[id]; ok && (q.Status == "" || j.state == q.Status) {
+			matched = append(matched, j)
 		}
 	}
-	return out
+	total := len(matched)
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			matched = nil
+		} else {
+			matched = matched[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	out := make([]JobView, 0, len(matched))
+	for _, j := range matched {
+		out = append(out, s.view(j, false))
+	}
+	return out, total
+}
+
+// Trace returns a job's trace snapshot — safe while the job is still
+// running (only fully-published spans appear) — and whether the id
+// exists.
+func (s *Server) Trace(id string) (obs.TraceView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return obs.TraceView{}, false
+	}
+	return j.trace.View(), true
 }
 
 // Cancel cancels a queued or running job. It reports the job's snapshot
@@ -481,17 +597,12 @@ func (s *Server) Wait(ctx context.Context, id string) (JobView, error) {
 }
 
 // RetryAfterHint suggests, in whole seconds, how long a client rejected
-// with ErrQueueFull should wait before resubmitting: the mean wall time
-// of succeeded jobs (a queue slot frees roughly once per mean job),
-// clamped to [1, 60]. Before any job has finished it returns 1.
+// with ErrQueueFull should wait before resubmitting: the p90 of
+// executed-job wall time (a queue slot frees roughly once per job, and
+// the tail — not the mean — is what keeps slots occupied), clamped to
+// [1, 60]. Before any job has executed it returns 1.
 func (s *Server) RetryAfterHint() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	secs := 1.0
-	if s.ctr.succeeded > 0 {
-		secs = s.ctr.wallSecondsSum / float64(s.ctr.succeeded)
-	}
-	hint := int(math.Ceil(secs))
+	hint := int(math.Ceil(s.histWall.Quantile(0.9)))
 	if hint < 1 {
 		hint = 1
 	}
@@ -547,6 +658,10 @@ type stats struct {
 	cacheSize   int
 	byState     map[JobState]int
 	draining    bool
+	// In-flight sweep progress summed over running jobs, so Prometheus
+	// can plot a fleet's completion fraction without polling each job.
+	cellsDoneRunning  int64
+	cellsTotalRunning int64
 }
 
 func (s *Server) snapshot() stats {
@@ -566,6 +681,10 @@ func (s *Server) snapshot() stats {
 	}
 	for _, j := range s.jobs {
 		st.byState[j.state]++
+		if j.state == StateRunning {
+			st.cellsDoneRunning += j.cellsDone.Load()
+			st.cellsTotalRunning += j.cellsTotal.Load()
+		}
 	}
 	return st
 }

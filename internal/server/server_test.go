@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"greendimm/internal/exp"
+	"greendimm/internal/metrics"
 )
 
 // specN builds distinct valid specs (different seeds → different hashes).
@@ -18,7 +19,7 @@ func specN(n int64) JobSpec {
 }
 
 // newTestServer builds a server with a fake runner.
-func newTestServer(t *testing.T, cfg Config, runner func(JobSpec, func() bool) (*Result, error)) *Server {
+func newTestServer(t *testing.T, cfg Config, runner func(JobSpec, RunHooks) (*Result, error)) *Server {
 	t.Helper()
 	cfg.Runner = runner
 	s := New(cfg)
@@ -43,7 +44,7 @@ func waitState(t *testing.T, s *Server, id string) JobView {
 
 func TestPoolRunsJobsAndCaches(t *testing.T) {
 	var runs atomic.Int64
-	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, func(spec JobSpec, stop func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, func(spec JobSpec, h RunHooks) (*Result, error) {
 		runs.Add(1)
 		return &Result{Text: fmt.Sprintf("seed %d", spec.Experiment.Seed), SimSeconds: 2}, nil
 	})
@@ -93,7 +94,7 @@ func TestPoolRunsJobsAndCaches(t *testing.T) {
 func TestPoolQueueFullReturnsErr(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{}, 16)
-	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2}, func(JobSpec, func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 2}, func(JobSpec, RunHooks) (*Result, error) {
 		started <- struct{}{}
 		<-release
 		return &Result{}, nil
@@ -123,7 +124,7 @@ func TestPoolConcurrentJobsInFlight(t *testing.T) {
 	const workers = 4
 	var inFlight, peak atomic.Int64
 	var mu sync.Mutex
-	s := newTestServer(t, Config{Workers: workers, QueueDepth: 64}, func(JobSpec, func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: workers, QueueDepth: 64}, func(JobSpec, RunHooks) (*Result, error) {
 		cur := inFlight.Add(1)
 		mu.Lock()
 		if cur > peak.Load() {
@@ -156,9 +157,9 @@ func TestPoolConcurrentJobsInFlight(t *testing.T) {
 }
 
 func TestPoolDeadlineCancelsJob(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, stop func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, h RunHooks) (*Result, error) {
 		// Model the engine's stop-check polling loop.
-		for !stop() {
+		for !h.Stop() {
 			time.Sleep(time.Millisecond)
 		}
 		return nil, exp.ErrInterrupted
@@ -184,12 +185,12 @@ func TestPoolDeadlineCancelsJob(t *testing.T) {
 
 func TestPoolClientCancel(t *testing.T) {
 	releaseQueued := make(chan struct{})
-	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, stop func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(spec JobSpec, h RunHooks) (*Result, error) {
 		if spec.Experiment.Seed == 1 {
 			<-releaseQueued
 			return &Result{}, nil
 		}
-		for !stop() {
+		for !h.Stop() {
 			time.Sleep(time.Millisecond)
 		}
 		return nil, exp.ErrInterrupted
@@ -231,7 +232,7 @@ func TestPoolShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
 	var finished atomic.Int64
 	cfg := Config{Workers: 1, QueueDepth: 4,
-		Runner: func(JobSpec, func() bool) (*Result, error) {
+		Runner: func(JobSpec, RunHooks) (*Result, error) {
 			<-release
 			finished.Add(1)
 			return &Result{}, nil
@@ -280,8 +281,8 @@ func TestPoolShutdownDrains(t *testing.T) {
 
 func TestPoolShutdownForceCancelsOnContextExpiry(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 4,
-		Runner: func(spec JobSpec, stop func() bool) (*Result, error) {
-			for !stop() {
+		Runner: func(spec JobSpec, h RunHooks) (*Result, error) {
+			for !h.Stop() {
 				time.Sleep(time.Millisecond)
 			}
 			return nil, exp.ErrInterrupted
@@ -302,7 +303,7 @@ func TestPoolShutdownForceCancelsOnContextExpiry(t *testing.T) {
 }
 
 func TestPoolInvalidSpecRejected(t *testing.T) {
-	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, RunHooks) (*Result, error) {
 		return &Result{}, nil
 	})
 	_, err := s.Submit(JobSpec{Kind: "bogus"})
@@ -317,7 +318,7 @@ func TestPoolInvalidSpecRejected(t *testing.T) {
 
 func TestPoolFailedJob(t *testing.T) {
 	boom := errors.New("boom")
-	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, func() bool) (*Result, error) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1}, func(JobSpec, RunHooks) (*Result, error) {
 		return nil, boom
 	})
 	v, err := s.Submit(specN(1))
@@ -340,7 +341,7 @@ func TestPoolFailedJob(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, CacheEntries: 2},
-		func(spec JobSpec, stop func() bool) (*Result, error) {
+		func(spec JobSpec, h RunHooks) (*Result, error) {
 			return &Result{Text: fmt.Sprint(spec.Experiment.Seed)}, nil
 		})
 	run := func(seed int64) { v, _ := s.Submit(specN(seed)); waitState(t, s, v.ID) }
@@ -362,7 +363,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestJobRecordPruning(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, MaxJobRecords: 3, CacheEntries: 1},
-		func(spec JobSpec, stop func() bool) (*Result, error) { return &Result{}, nil })
+		func(spec JobSpec, h RunHooks) (*Result, error) { return &Result{}, nil })
 	var last JobView
 	for i := int64(1); i <= 6; i++ {
 		v, err := s.Submit(specN(i))
@@ -371,8 +372,9 @@ func TestJobRecordPruning(t *testing.T) {
 		}
 		last = waitState(t, s, v.ID)
 	}
-	if got := len(s.List()); got != 3 {
-		t.Errorf("retained %d records, want 3", got)
+	views, total := s.List(ListQuery{})
+	if len(views) != 3 || total != 3 {
+		t.Errorf("retained %d records (total %d), want 3", len(views), total)
 	}
 	if _, ok := s.Get(last.ID); !ok {
 		t.Error("newest record was pruned")
@@ -383,31 +385,29 @@ func TestJobRecordPruning(t *testing.T) {
 }
 
 // TestRetryAfterHint checks the hint's derivation and clamping: 1 before
-// any success, the ceiling of the mean wall time afterwards, never
-// outside [1, 60].
+// any execution, the ceiling of the p90 wall-time bucket bound
+// afterwards, never outside [1, 60].
 func TestRetryAfterHint(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
-		func(spec JobSpec, stop func() bool) (*Result, error) { return &Result{}, nil })
+		func(spec JobSpec, h RunHooks) (*Result, error) { return &Result{}, nil })
 	if got := s.RetryAfterHint(); got != 1 {
-		t.Errorf("hint before any success = %d, want 1", got)
+		t.Errorf("hint before any execution = %d, want 1", got)
 	}
 	cases := []struct {
-		succeeded int64
-		wallSum   float64
-		want      int
+		walls []float64
+		want  int
 	}{
-		{4, 10, 3},    // mean 2.5s → ceil 3
-		{2, 0.01, 1},  // sub-second mean clamps up to 1
-		{1, 3600, 60}, // hour-long mean clamps down to 60
-		{3, 9, 3},     // exact integer mean stays put
+		{[]float64{0.01, 0.02, 0.01}, 1},          // sub-second tail clamps up to 1
+		{[]float64{2, 2, 2, 2, 2, 2, 2, 2, 2}, 3}, // p90 lands in the 2.15s bucket → ceil 3
+		{[]float64{3600, 7200}, 60},               // hour-long tail clamps down to 60
 	}
 	for _, c := range cases {
-		s.mu.Lock()
-		s.ctr.succeeded = c.succeeded
-		s.ctr.wallSecondsSum = c.wallSum
-		s.mu.Unlock()
+		s.histWall = metrics.NewLogHistogram(0.001, 3600, 3)
+		for _, w := range c.walls {
+			s.histWall.Observe(w)
+		}
 		if got := s.RetryAfterHint(); got != c.want {
-			t.Errorf("hint(%d jobs, %.2fs total) = %d, want %d", c.succeeded, c.wallSum, got, c.want)
+			t.Errorf("hint(%v) = %d, want %d", c.walls, got, c.want)
 		}
 	}
 }

@@ -32,6 +32,17 @@ echo "==> go test -race ./internal/cluster/ (fault injection)"
 # heavy; its fault-injection suite must always run under the detector.
 GREENDIMM_QUICK=1 go test -race ./internal/cluster/
 
+echo "==> go test -race ./internal/obs/ (lock-free span ring)"
+# The trace ring's atomic reservation/publication protocol is only as
+# good as its race coverage; run it under the detector unconditionally.
+go test -race ./internal/obs/
+
+echo "==> alloc regression (engine dispatch hot path)"
+# Observability must stay free when disabled: the dispatch benchmarks
+# assert 0 allocs/op, and this runs them as tests so a regression fails
+# the gate, not just a benchmark readout.
+go test -run 'Alloc' ./internal/sim/
+
 echo "==> go test -race ./..."
 go test -race "$@" ./...
 
