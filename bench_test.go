@@ -18,10 +18,18 @@ import (
 	"testing"
 
 	"greendimm/internal/exp"
+	"greendimm/internal/sweep"
 )
 
+// benchMemo is shared across every benchmark in the process, the way the
+// CLI's -experiment all path shares one: experiments that run identical
+// baseline cells (fig12/fig13's traced day, the block sweep's dynamics
+// runs) compute them once. Result-neutral (see exp.Options.Memo), so the
+// reported headline metrics are unchanged.
+var benchMemo = sweep.NewMemo(0)
+
 func benchOpts() exp.Options {
-	return exp.Options{Quick: os.Getenv("GREENDIMM_QUICK") != "", Seed: 1}
+	return exp.Options{Quick: os.Getenv("GREENDIMM_QUICK") != "", Seed: 1, Memo: benchMemo}
 }
 
 // BenchmarkFig1MemoryUtilization regenerates Fig. 1: VM memory

@@ -33,6 +33,7 @@ import (
 	"greendimm/internal/obs"
 	"greendimm/internal/report"
 	"greendimm/internal/server"
+	"greendimm/internal/sweep"
 )
 
 func main() {
@@ -81,6 +82,13 @@ func main() {
 // on this machine's registry runner.
 func runLocalRegistry(which string, opts exp.Options, csvDir string) {
 	experiments := exp.Registry()
+	// One memo across the whole selection: with -experiment all, figures
+	// that share baseline cells (fig12/fig13's traced day, the block
+	// sweep's dynamics runs) compute them once. Result-neutral — see
+	// exp.Options.Memo.
+	if opts.Memo == nil {
+		opts.Memo = sweep.NewMemo(0)
+	}
 	for _, id := range experimentIDs(which) {
 		fn, ok := experiments[id]
 		if !ok {

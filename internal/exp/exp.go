@@ -47,6 +47,17 @@ type Options struct {
 	// observation). It never influences results — only whether and how
 	// far a run proceeds — so it is excluded from serialized job specs.
 	Hooks Hooks `json:"-"`
+
+	// Memo, when non-nil, caches baseline sweep cells (timing runs,
+	// dynamics runs, VM-trace days, tail services) across experiments by
+	// config fingerprint, so matrix experiments that share a cell —
+	// fig12/fig13 run the identical traced day, the energy matrix
+	// re-runs standalone figures' timing configs — compute it once.
+	// Pure execution knob: every cell is a deterministic function of its
+	// key, so memoized output is byte-identical to recomputed output at
+	// any parallelism (TestMemoDeterminism pins this). Excluded from
+	// serialized job specs like the other execution knobs.
+	Memo *sweep.Memo `json:"-"`
 }
 
 // Hooks lets a caller — the greendimmd daemon, a test harness — observe

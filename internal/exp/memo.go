@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+
+	"greendimm/internal/sweep"
+	"greendimm/internal/workload"
+)
+
+// This file is the experiment layer's seam onto sweep.Memo: one wrapper
+// per memoizable baseline cell, each building a key from every config
+// field that influences the cell's result (hooks are execution-only and
+// excluded). The determinism contract makes memoization result-neutral:
+// a cell is a pure function of its key, so serving a stored result is
+// indistinguishable from recomputing it — TestMemoDeterminism holds
+// rendered reports byte-identical with the memo off, cold, and shared.
+
+// memoized runs compute through m under key, typed. A nil memo computes
+// directly, so call sites thread Options.Memo without branching.
+func memoized[T any](m *sweep.Memo, key string, compute func() (T, error)) (T, error) {
+	if m == nil {
+		return compute()
+	}
+	v, err := m.Do(key, func() (any, error) { return compute() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// profFP fingerprints a workload profile for memo keys. Profiles are
+// flat value structs, so the %+v rendering covers every field that can
+// influence a run.
+func profFP(p workload.Profile) string {
+	return fmt.Sprintf("%+v", p)
+}
+
+// memoTiming memoizes runTiming by its full configuration.
+func memoTiming(m *sweep.Memo, cfg timingConfig) (TimingRun, error) {
+	key := fmt.Sprintf("timing|%s|intlv=%t|copies=%d|acc=%d|seed=%d",
+		profFP(cfg.prof), cfg.interleaved, cfg.copies, cfg.accesses, cfg.seed)
+	return memoized(m, key, func() (TimingRun, error) { return runTiming(cfg) })
+}
+
+// memoDynamics memoizes runDynamics by its full configuration.
+func memoDynamics(m *sweep.Memo, cfg dynamicsConfig) (DynamicsRun, error) {
+	key := fmt.Sprintf("dynamics|%s|block=%d|dur=%d|policy=%d|movable=%d|group=%d|fail=%g|leak=%d|seed=%d",
+		profFP(cfg.prof), cfg.blockMB, int64(cfg.duration), cfg.policy,
+		cfg.movableGB, cfg.groupMB, cfg.failProb, cfg.leakEvery, cfg.seed)
+	return memoized(m, key, func() (DynamicsRun, error) { return runDynamics(cfg) })
+}
+
+// memoVMDay memoizes a 24-hour VM-trace day — the heaviest shared cell:
+// fig12 and fig13 run the identical (greendimm, ksm, horizon, seed) days.
+func memoVMDay(m *sweep.Memo, cfg vmDayConfig) (VMDayResult, error) {
+	key := fmt.Sprintf("vmday|ksm=%t|gd=%t|h=%d|seed=%d",
+		cfg.withKSM, cfg.withGreenDIMM, int64(cfg.horizon), cfg.seed)
+	return memoized(m, key, func() (VMDayResult, error) { return runVMDay(cfg) })
+}
+
+// tailCell is runService's memoizable output.
+type tailCell struct {
+	stats  tailStats
+	events int64
+}
+
+// memoTailService memoizes one tail-latency service run. Options.Quick
+// is deliberately absent from the key: runService uses a fixed horizon
+// (see the comment there), so Quick does not influence its result.
+func memoTailService(m *sweep.Memo, prof workload.Profile, withDaemon bool, opts Options) (tailCell, error) {
+	key := fmt.Sprintf("tailsvc|%s|daemon=%t|seed=%d", profFP(prof), withDaemon, opts.Seed)
+	return memoized(m, key, func() (tailCell, error) {
+		st, events, err := runService(prof, withDaemon, opts)
+		return tailCell{stats: st, events: events}, err
+	})
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+
+	"greendimm/internal/sweep"
+)
+
+// TestMemoDeterminism is the memoization acceptance check: for the
+// experiments that share baseline cells, rendered reports must be
+// byte-identical whether the memo is off, freshly attached, or shared
+// across experiments (serving stored cells), at serial and parallel
+// sweep widths. fig12 and fig13 run the identical traced day, so the
+// shared-memo pass also proves cross-experiment reuse.
+func TestMemoDeterminism(t *testing.T) {
+	ids := []string{"fig1", "fig12", "fig13"}
+	baseline := make(map[string]string, len(ids))
+	for _, id := range ids {
+		baseline[id] = renderExperiment(t, id, Options{Quick: true, Seed: 1, Parallelism: 1})
+	}
+	for _, par := range []int{1, 8} {
+		// Fresh memo per experiment: every cell computes through the memo.
+		for _, id := range ids {
+			got := renderExperiment(t, id,
+				Options{Quick: true, Seed: 1, Parallelism: par, Memo: sweep.NewMemo(0)})
+			if got != baseline[id] {
+				t.Errorf("%s with fresh memo at parallelism %d differs:\n--- memo off ---\n%s\n--- memo on ---\n%s",
+					id, par, baseline[id], got)
+			}
+		}
+		// Shared memo: later experiments are served stored cells.
+		shared := sweep.NewMemo(0)
+		for _, id := range ids {
+			got := renderExperiment(t, id,
+				Options{Quick: true, Seed: 1, Parallelism: par, Memo: shared})
+			if got != baseline[id] {
+				t.Errorf("%s with shared memo at parallelism %d differs:\n--- memo off ---\n%s\n--- shared memo ---\n%s",
+					id, par, baseline[id], got)
+			}
+		}
+		// fig1 contributes 2 distinct days, fig12 another 2; fig13's days
+		// are fig12's — hits, not entries.
+		if n := shared.Len(); n != 4 {
+			t.Errorf("parallelism %d: shared memo holds %d entries, want 4 (fig13 must reuse fig12's days)", par, n)
+		}
+		if h := shared.Hits(); h < 2 {
+			t.Errorf("parallelism %d: shared memo served %d hits, want >= 2 (fig13's two days)", par, h)
+		}
+	}
+}

@@ -58,12 +58,32 @@ const (
 // ErrQueueFull is reported by Submit when the target channel queue is full.
 var ErrQueueFull = fmt.Errorf("mc: channel queue full")
 
-// request is an in-flight memory request.
+// Completer receives request completions. Callers that implement it and
+// submit through SubmitCall pay no per-access heap allocation: the
+// controller passes back the caller's id instead of invoking a closure,
+// so one long-lived Completer serves every access a workload issues.
+// Complete runs inside the engine's event loop at data-return time; the
+// id is whatever the caller passed to SubmitCall, latency is completion
+// time minus submit time.
+type Completer interface {
+	Complete(id uint64, latency sim.Time)
+}
+
+// funcCompleter adapts the legacy func(sim.Time) callback to Completer.
+type funcCompleter struct{ fn func(sim.Time) }
+
+func (f *funcCompleter) Complete(_ uint64, lat sim.Time) { f.fn(lat) }
+
+// request is an in-flight memory request. Requests are pooled: the
+// controller recycles them through a free list once completed (engine
+// Event style), so steady-state traffic allocates none.
 type request struct {
 	loc    addr.Loc
 	write  bool
 	arrive sim.Time
-	done   func(latency sim.Time)
+	cb     Completer
+	id     uint64
+	rk     *rank
 }
 
 // bank tracks one bank's row-buffer and timing state.
@@ -93,11 +113,18 @@ type rank struct {
 	idleSince sim.Time
 	// awakeAt: until this time the rank cannot accept commands (wake-up
 	// or refresh in progress).
-	awakeAt   sim.Time
-	actHist   [4]sim.Time // for tFAW
-	actIdx    int
-	pending   int // queued + in-flight requests targeting this rank
-	idleEvSeq uint64
+	awakeAt sim.Time
+	actHist [4]sim.Time // for tFAW
+	actIdx  int
+	pending int // queued + in-flight requests targeting this rank
+	// standbySince is when the current standby residency began; the idle
+	// descent timers re-derive their liveness from it (a fired timer
+	// whose expected entry time no longer matches is stale), replacing
+	// the sequence-number captures that cost a closure per arm.
+	standbySince sim.Time
+	// idleArmedAt dedupes idle-descent events: at most one is queued per
+	// target time, since a fired event carries no state beyond the rank.
+	idleArmedAt sim.Time
 }
 
 // channel is one memory channel's scheduler state.
@@ -134,6 +161,16 @@ type Controller struct {
 
 	rankAccesses []int64 // per global rank, for hotness-driven policies
 	tracer       *Tracer
+
+	// freeReqs pools completed request objects for reuse by SubmitCall.
+	freeReqs []*request
+
+	// Event handlers bound once at construction; scheduled with the
+	// engine's AtFunc family so the hot path never allocates a closure.
+	compFn    func(any) // arg *request: completion at data-return time
+	kickFn    func(any) // arg *channel: scheduling pass
+	idleFn    func(any) // arg *rank: idle-descent timer
+	refreshFn func(any) // arg *rank: tREFI refresh tick
 
 	stats Stats
 	start sim.Time
@@ -175,15 +212,24 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 		start:   eng.Now(),
 	}
 	c.rankAccesses = make([]int64, cfg.Org.TotalRanks())
+	c.compFn = func(v any) { c.completeReq(v.(*request)) }
+	c.kickFn = func(v any) { c.kickTick(v.(*channel)) }
+	c.idleFn = func(v any) { c.idleTick(v.(*rank)) }
+	c.refreshFn = func(v any) { c.refreshTick(v.(*rank)) }
+	// Reads per run reach tens of millions; bound the percentile storage
+	// (Mean/N stay exact — see metrics.Distribution.SetCap).
+	c.stats.ReadLatency.SetCap(readLatencyCap)
 	now := eng.Now()
 	for ch := 0; ch < cfg.Org.Channels; ch++ {
 		chn := &channel{}
 		for r := 0; r < cfg.Org.RanksPerChannel(); r++ {
 			rk := &rank{
-				banks:     make([]bank, cfg.Org.Banks()),
-				res:       metrics.NewResidency(rsCount, rsStandby, now),
-				state:     rsStandby,
-				idleSince: now,
+				banks:        make([]bank, cfg.Org.Banks()),
+				res:          metrics.NewResidency(rsCount, rsStandby, now),
+				state:        rsStandby,
+				idleSince:    now,
+				standbySince: now,
+				idleArmedAt:  -1,
 			}
 			for b := range rk.banks {
 				rk.banks[b].openRow = -1
@@ -192,15 +238,18 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 				rk.actHist[i] = -1 // empty: ACTs at t=0 are still real
 			}
 			chn.ranks = append(chn.ranks, rk)
-			c.scheduleRefresh(chn, rk)
+			eng.AfterDaemonFunc(cfg.Timing.TREFI, c.refreshFn, rk)
 			if cfg.LowPower {
-				c.armIdleTimer(chn, rk)
+				c.armIdleTimer(rk)
 			}
 		}
 		c.channels = append(c.channels, chn)
 	}
 	return c, nil
 }
+
+// readLatencyCap bounds retained read-latency percentile samples.
+const readLatencyCap = 1 << 15
 
 // Mapper exposes the address mapper (shared with the OS layer so both agree
 // on sub-array group boundaries).
@@ -216,7 +265,22 @@ func (c *Controller) PASRRegister() *dram.PASRRegister { return c.pasr }
 // done (optional) is invoked at completion with the request latency.
 // Submitting to an address whose sub-array group is in deep power-down is
 // a modelling error — the OS has off-lined that range — and panics.
+//
+// Submit adapts done into a Completer, which costs one allocation when
+// done is non-nil; allocation-sensitive callers should implement
+// Completer and use SubmitCall instead.
 func (c *Controller) Submit(pa uint64, write bool, done func(sim.Time)) error {
+	if done == nil {
+		return c.SubmitCall(pa, write, nil, 0)
+	}
+	return c.SubmitCall(pa, write, &funcCompleter{fn: done}, 0)
+}
+
+// SubmitCall enqueues a memory access like Submit, delivering completion
+// as cb.Complete(id, latency) (cb may be nil for fire-and-forget). The
+// request object comes from the controller's free list, so a caller with
+// a long-lived Completer submits with zero heap allocations.
+func (c *Controller) SubmitCall(pa uint64, write bool, cb Completer, id uint64) error {
 	loc, err := c.mapper.Decode(pa)
 	if err != nil {
 		return err
@@ -228,16 +292,37 @@ func (c *Controller) Submit(pa uint64, write bool, done func(sim.Time)) error {
 	if len(chn.queue) >= c.cfg.MaxQueue {
 		return ErrQueueFull
 	}
-	req := &request{loc: loc, write: write, arrive: c.eng.Now(), done: done}
+	rk := chn.ranks[loc.Rank]
+	req := c.getReq()
+	req.loc, req.write, req.arrive = loc, write, c.eng.Now()
+	req.cb, req.id, req.rk = cb, id, rk
 	chn.queue = append(chn.queue, req)
 	if c.tracer != nil {
 		c.tracer.record(c.eng.Now(), pa, write)
 	}
 	c.rankAccesses[loc.Channel*c.cfg.Org.RanksPerChannel()+loc.Rank]++
-	chn.ranks[loc.Rank].pending++
-	c.wakeIfSleeping(chn, chn.ranks[loc.Rank])
+	rk.pending++
+	c.wakeIfSleeping(chn, rk)
 	c.kick(chn, c.eng.Now())
 	return nil
+}
+
+// getReq pops a pooled request (or makes one).
+func (c *Controller) getReq() *request {
+	if k := len(c.freeReqs) - 1; k >= 0 {
+		r := c.freeReqs[k]
+		c.freeReqs[k] = nil
+		c.freeReqs = c.freeReqs[:k]
+		return r
+	}
+	return &request{}
+}
+
+// putReq returns a completed request to the free list, dropping the
+// callback and rank references so idle pool slots retain nothing.
+func (c *Controller) putReq(r *request) {
+	r.cb, r.rk, r.id = nil, nil, 0
+	c.freeReqs = append(c.freeReqs, r)
 }
 
 // QueueLen reports the total queued (not yet issued) requests.
@@ -261,13 +346,18 @@ func (c *Controller) kick(chn *channel, at sim.Time) {
 	}
 	chn.kickAt = at
 	chn.kickSet = true
-	c.eng.At(at, func() {
-		if chn.kickAt != at { // superseded by an earlier kick
-			return
-		}
-		chn.kickSet = false
-		c.schedule(chn)
-	})
+	c.eng.AtFunc(at, c.kickFn, chn)
+}
+
+// kickTick runs an armed kick event. A fired event's own time is the
+// current time, so kickAt differing from now means an earlier kick
+// superseded this one.
+func (c *Controller) kickTick(chn *channel) {
+	if chn.kickAt != c.eng.Now() {
+		return
+	}
+	chn.kickSet = false
+	c.schedule(chn)
 }
 
 // schedule issues every request whose bank and rank can accept commands
@@ -284,7 +374,13 @@ func (c *Controller) schedule(chn *channel) {
 			return
 		}
 		req := chn.queue[idx]
-		chn.queue = append(chn.queue[:idx], chn.queue[idx+1:]...)
+		// Compacting removal that nils the vacated tail slot: the backing
+		// array must not retain a pointer to the issued (soon pooled)
+		// request.
+		last := len(chn.queue) - 1
+		copy(chn.queue[idx:], chn.queue[idx+1:])
+		chn.queue[last] = nil
+		chn.queue = chn.queue[:last]
 		c.issue(chn, req)
 	}
 }
@@ -299,7 +395,7 @@ func (c *Controller) pickReady(chn *channel, now sim.Time) (int, sim.Time) {
 	for i, r := range chn.queue {
 		rk := chn.ranks[r.loc.Rank]
 		b := &rk.banks[r.loc.BankGroup*c.cfg.Org.BanksPerGroup+r.loc.Bank]
-		ready := maxTime(rk.awakeAt, b.readyAt)
+		ready := maxTime2(rk.awakeAt, b.readyAt)
 		if ready > now {
 			if nextAt < 0 || ready < nextAt {
 				nextAt = ready
@@ -327,24 +423,24 @@ func (c *Controller) timeRequest(chn *channel, req *request) (sim.Time, sim.Time
 	rk := chn.ranks[req.loc.Rank]
 	b := &rk.banks[req.loc.BankGroup*c.cfg.Org.BanksPerGroup+req.loc.Bank]
 
-	cmdStart := maxTime(now, rk.awakeAt, b.readyAt)
+	cmdStart := maxTime3(now, rk.awakeAt, b.readyAt)
 	var casAt sim.Time
 	switch {
 	case b.openRow == req.loc.Row: // row hit
 		casAt = cmdStart
 	case b.openRow < 0: // closed, ACT needed
-		actAt := maxTime(cmdStart, c.fawGate(rk))
+		actAt := maxTime2(cmdStart, c.fawGate(rk))
 		casAt = actAt + t.TRCD
 	default: // conflict: PRE then ACT
-		preAt := maxTime(cmdStart, b.canPreAt)
-		actAt := maxTime(preAt+t.TRP, c.fawGate(rk))
+		preAt := maxTime2(cmdStart, b.canPreAt)
+		actAt := maxTime2(preAt+t.TRP, c.fawGate(rk))
 		casAt = actAt + t.TRCD
 	}
 	cas := t.TCL
 	if req.write {
 		cas = t.TCWL
 	}
-	dataStart := maxTime(casAt+cas, chn.busFreeAt)
+	dataStart := maxTime2(casAt+cas, chn.busFreeAt)
 	return cmdStart, dataStart, dataStart + t.TBL
 }
 
@@ -388,14 +484,14 @@ func (c *Controller) issue(chn *channel, req *request) {
 	if req.write {
 		b.canPreAt = dataEnd + t.TWR
 	} else {
-		b.canPreAt = maxTime(b.canPreAt, dataStart+t.TRTP)
+		b.canPreAt = maxTime2(b.canPreAt, dataStart+t.TRTP)
 	}
 	if c.cfg.ClosedPage {
 		// Auto-precharge: the row closes after this access; the next
 		// access to the bank activates from precharged no earlier than
 		// the precharge completes.
 		b.openRow = -1
-		b.readyAt = maxTime(b.readyAt, b.canPreAt+t.TRP)
+		b.readyAt = maxTime2(b.readyAt, b.canPreAt+t.TRP)
 	}
 	chn.busFreeAt = dataEnd
 
@@ -407,17 +503,24 @@ func (c *Controller) issue(chn *channel, req *request) {
 	}
 
 	c.markBusy(rk, dataEnd)
-	done := req.done
-	arrive := req.arrive
-	c.eng.At(dataEnd, func() {
-		rk.pending--
-		if rk.pending == 0 && c.cfg.LowPower {
-			c.armIdleTimer(chn, rk)
-		}
-		if done != nil {
-			done(c.eng.Now() - arrive)
-		}
-	})
+	c.eng.AtFunc(dataEnd, c.compFn, req)
+}
+
+// completeReq runs at a request's data-return time: it releases the
+// rank, recycles the request, and only then notifies the caller — so a
+// submit from inside Complete reuses the freed slot, and no free-list
+// entry ever has a completion event outstanding.
+func (c *Controller) completeReq(req *request) {
+	rk := req.rk
+	rk.pending--
+	if rk.pending == 0 && c.cfg.LowPower {
+		c.armIdleTimer(rk)
+	}
+	cb, id, arrive := req.cb, req.id, req.arrive
+	c.putReq(req)
+	if cb != nil {
+		cb.Complete(id, c.eng.Now()-arrive)
+	}
 }
 
 func (c *Controller) recordAct(rk *rank) {
@@ -426,19 +529,25 @@ func (c *Controller) recordAct(rk *rank) {
 	rk.actIdx = (rk.actIdx + 1) % len(rk.actHist)
 }
 
-func maxTime(ts ...sim.Time) sim.Time {
-	m := ts[0]
-	for _, t := range ts[1:] {
-		if t > m {
-			m = t
-		}
+// maxTime2 and maxTime3 are fixed-arity maxima: the issue path computes
+// several per request, and the variadic form they replace materialized a
+// slice per call.
+func maxTime2(a, b sim.Time) sim.Time {
+	if b > a {
+		return b
 	}
-	return m
+	return a
+}
+
+func maxTime3(a, b, c sim.Time) sim.Time {
+	return maxTime2(maxTime2(a, b), c)
 }
 
 // --- power-state policy ---
 
 // markBusy transitions the rank to active until at least busyUntil.
+// Armed idle timers need no explicit cancellation: a fired idleTick
+// re-derives liveness from the rank's state and standby-entry time.
 func (c *Controller) markBusy(rk *rank, busyUntil sim.Time) {
 	now := c.eng.Now()
 	if rk.state != rsActive {
@@ -448,48 +557,71 @@ func (c *Controller) markBusy(rk *rank, busyUntil sim.Time) {
 	if busyUntil > rk.idleSince {
 		rk.idleSince = busyUntil
 	}
-	rk.idleEvSeq++ // cancel stale idle timers
 }
 
-// armIdleTimer schedules the standby -> power-down -> self-refresh descent
-// once the rank has no pending work.
-func (c *Controller) armIdleTimer(chn *channel, rk *rank) {
-	now := c.eng.Now()
+// armIdleTimer begins the standby -> power-down -> self-refresh descent
+// once the rank has no pending work. Transition times are the same as
+// the captured-closure scheme this replaces — standby on last data
+// return, power-down and self-refresh at PowerDownAfter/SelfRefreshAfter
+// past standby entry — but arming allocates nothing: the timer events
+// carry only the rank, and a fired event decides from current state
+// whether it is still live.
+func (c *Controller) armIdleTimer(rk *rank) {
 	if rk.pending > 0 {
 		return
 	}
+	now := c.eng.Now()
 	if rk.state == rsActive {
-		at := maxTime(now, rk.idleSince)
-		if at == now {
-			rk.res.Transition(now, rsStandby)
-			rk.state = rsStandby
-			rk.idleSince = now
-		} else {
-			seq := rk.idleEvSeq
-			c.eng.AtDaemon(at, func() {
-				if rk.idleEvSeq == seq && rk.pending == 0 {
-					c.armIdleTimer(chn, rk)
-				}
-			})
+		if rk.idleSince > now {
+			// Data still on the wire: revisit at the drain time.
+			c.armIdleAt(rk, rk.idleSince)
 			return
 		}
+		rk.res.Transition(now, rsStandby)
+		rk.state = rsStandby
+		rk.idleSince = now
+		rk.standbySince = now
 	}
-	seq := rk.idleEvSeq
-	if rk.state == rsStandby {
-		c.eng.AtDaemon(now+c.cfg.PowerDownAfter, func() {
-			if rk.idleEvSeq != seq || rk.pending > 0 || rk.state != rsStandby {
-				return
-			}
-			rk.res.Transition(c.eng.Now(), rsPowerDown)
+	if rk.state == rsStandby && rk.standbySince == now {
+		c.armIdleAt(rk, now+c.cfg.PowerDownAfter)
+	}
+}
+
+// armIdleAt queues an idle-descent event at time at. One queued event
+// per target time suffices — idleTick carries no captured state — so
+// equal-time re-arms are deduped.
+func (c *Controller) armIdleAt(rk *rank, at sim.Time) {
+	if rk.idleArmedAt == at {
+		return
+	}
+	rk.idleArmedAt = at
+	c.eng.AtDaemonFunc(at, c.idleFn, rk)
+}
+
+// idleTick advances the idle descent one step. The event knows only its
+// rank; it is live exactly when the rank's current state says a
+// transition is due now (stale timers from an interrupted descent fall
+// through without effect, replacing the old sequence-number check).
+func (c *Controller) idleTick(rk *rank) {
+	if rk.pending > 0 {
+		return
+	}
+	now := c.eng.Now()
+	switch rk.state {
+	case rsActive:
+		// Deferred standby entry armed at the expected drain time.
+		c.armIdleTimer(rk)
+	case rsStandby:
+		if now == rk.standbySince+c.cfg.PowerDownAfter {
+			rk.res.Transition(now, rsPowerDown)
 			rk.state = rsPowerDown
-		})
-		c.eng.AtDaemon(now+c.cfg.SelfRefreshAfter, func() {
-			if rk.idleEvSeq != seq || rk.pending > 0 || rk.state != rsPowerDown {
-				return
-			}
-			rk.res.Transition(c.eng.Now(), rsSelfRefresh)
+			c.armIdleAt(rk, rk.standbySince+c.cfg.SelfRefreshAfter)
+		}
+	case rsPowerDown:
+		if now == rk.standbySince+c.cfg.SelfRefreshAfter {
+			rk.res.Transition(now, rsSelfRefresh)
 			rk.state = rsSelfRefresh
-		})
+		}
 	}
 }
 
@@ -499,17 +631,16 @@ func (c *Controller) wakeIfSleeping(chn *channel, rk *rank) {
 	now := c.eng.Now()
 	switch rk.state {
 	case rsPowerDown:
-		rk.awakeAt = maxTime(rk.awakeAt, now+c.cfg.Timing.TXP)
+		rk.awakeAt = maxTime2(rk.awakeAt, now+c.cfg.Timing.TXP)
 		c.stats.WakeUps++
 	case rsSelfRefresh:
-		rk.awakeAt = maxTime(rk.awakeAt, now+c.cfg.Timing.TXS)
+		rk.awakeAt = maxTime2(rk.awakeAt, now+c.cfg.Timing.TXS)
 		c.stats.WakeUps++
 	default:
 		return
 	}
 	rk.res.Transition(now, rsActive)
 	rk.state = rsActive
-	rk.idleEvSeq++
 	// Self-refresh exit loses the row buffers.
 	for i := range rk.banks {
 		rk.banks[i].openRow = -1
@@ -518,28 +649,27 @@ func (c *Controller) wakeIfSleeping(chn *channel, rk *rank) {
 
 // --- refresh ---
 
-// scheduleRefresh arms the per-rank tREFI refresh chain. Ranks in
-// self-refresh skip controller REF commands (the device refreshes itself).
-func (c *Controller) scheduleRefresh(chn *channel, rk *rank) {
-	c.eng.AfterDaemon(c.cfg.Timing.TREFI, func() {
-		if c.final {
-			return
-		}
-		if rk.state != rsSelfRefresh {
-			c.stats.Refreshes++
-			t := &c.cfg.Timing
-			start := maxTime(c.eng.Now(), rk.awakeAt)
-			end := start + t.TRFC
-			rk.awakeAt = end
-			for i := range rk.banks {
-				rk.banks[i].openRow = -1
-				if rk.banks[i].readyAt < end {
-					rk.banks[i].readyAt = end
-				}
+// refreshTick is the per-rank tREFI refresh chain (armed at construction,
+// self-rescheduling). Ranks in self-refresh skip controller REF commands
+// (the device refreshes itself).
+func (c *Controller) refreshTick(rk *rank) {
+	if c.final {
+		return
+	}
+	if rk.state != rsSelfRefresh {
+		c.stats.Refreshes++
+		t := &c.cfg.Timing
+		start := maxTime2(c.eng.Now(), rk.awakeAt)
+		end := start + t.TRFC
+		rk.awakeAt = end
+		for i := range rk.banks {
+			rk.banks[i].openRow = -1
+			if rk.banks[i].readyAt < end {
+				rk.banks[i].readyAt = end
 			}
 		}
-		c.scheduleRefresh(chn, rk)
-	})
+	}
+	c.eng.AfterDaemonFunc(c.cfg.Timing.TREFI, c.refreshFn, rk)
 }
 
 // --- GreenDIMM deep power-down control ---

@@ -96,6 +96,24 @@ func ParseTrace(r io.Reader) ([]TraceRecord, error) {
 	return out, sc.Err()
 }
 
+// replayer feeds a validated, time-sorted record list into a controller.
+// Its events fire in record order (same times, same scheduling order as
+// the records), so one shared step handler consuming records
+// sequentially replaces a closure per record.
+type replayer struct {
+	c       *Controller
+	records []TraceRecord
+	next    int
+}
+
+func (rp *replayer) step(any) {
+	r := rp.records[rp.next]
+	rp.next++
+	// Queue-full drops are acceptable on replay (the original run's
+	// closed loop throttled itself; replay is open-loop).
+	_ = rp.c.SubmitCall(r.Addr, r.Write, nil, 0)
+}
+
 // Replay schedules every record against the controller at its original
 // timestamp (records must be time-sorted; earlier-than-now records fail).
 // Returns the number of requests scheduled.
@@ -109,12 +127,11 @@ func Replay(eng *sim.Engine, c *Controller, records []TraceRecord) (int, error) 
 			return 0, fmt.Errorf("mc: trace record %d at %v is in the past", i, r.At)
 		}
 		prev = r.At
-		rec := r
-		eng.At(rec.At, func() {
-			// Queue-full drops are acceptable on replay (the original
-			// run's closed loop throttled itself; replay is open-loop).
-			_ = c.Submit(rec.Addr, rec.Write, nil)
-		})
+	}
+	rp := &replayer{c: c, records: records}
+	step := rp.step // bind the method value once, not per record
+	for _, r := range records {
+		eng.AtFunc(r.At, step, rp)
 	}
 	return len(records), nil
 }

@@ -109,33 +109,84 @@ func (w *WeightedValue) Average(at sim.Time) float64 {
 	return integral / float64(at-w.start)
 }
 
-// Distribution collects scalar samples and reports order statistics. It
-// stores samples; callers sampling millions of points should downsample
-// first (the experiments here collect at most ~10^5 latencies).
+// Distribution collects scalar samples and reports order statistics.
+// Mean and N are exact (running sum/count) regardless of storage policy.
+// By default every sample is retained; request-driven hot paths that
+// record millions of points should call SetCap so percentile storage
+// stays bounded — see SetCap for the decimation rule.
 type Distribution struct {
 	samples []float64
 	sorted  bool
+	n       int64
+	sum     float64
+	max     int   // retained-sample bound; 0 = retain everything
+	stride  int64 // record every stride-th sample once bounded
+	skip    int64 // samples left to drop before the next recorded one
 }
 
-// Add appends a sample.
+// Reserve grows the sample buffer's capacity to at least n, so the
+// following n Adds append without reallocating.
+func (d *Distribution) Reserve(n int) {
+	if cap(d.samples) >= n {
+		return
+	}
+	s := make([]float64, len(d.samples), n)
+	copy(s, d.samples)
+	d.samples = s
+}
+
+// SetCap bounds retained samples at max and preallocates the buffer.
+// Once the buffer fills, every second retained sample is dropped in
+// place and the recording stride doubles, so a run of any length keeps
+// a deterministic, roughly uniformly spaced subset of at most max
+// samples for percentile queries. The subset depends only on the Add
+// sequence, never on timing. Mean and N stay exact; Max becomes the
+// largest retained sample. Call before recording; max <= 0 restores
+// retain-everything.
+func (d *Distribution) SetCap(max int) {
+	d.max = max
+	if max > 0 {
+		d.Reserve(max)
+		if d.stride == 0 {
+			d.stride = 1
+		}
+	}
+}
+
+// Add records a sample.
 func (d *Distribution) Add(v float64) {
+	d.n++
+	d.sum += v
+	if d.max > 0 {
+		if d.skip > 0 {
+			d.skip--
+			return
+		}
+		d.skip = d.stride - 1
+	}
 	d.samples = append(d.samples, v)
 	d.sorted = false
+	if d.max > 0 && len(d.samples) >= d.max {
+		k := 0
+		for i := 0; i < len(d.samples); i += 2 {
+			d.samples[k] = d.samples[i]
+			k++
+		}
+		d.samples = d.samples[:k]
+		d.stride *= 2
+		d.skip = d.stride - 1
+	}
 }
 
-// N reports the sample count.
-func (d *Distribution) N() int { return len(d.samples) }
+// N reports the exact number of samples recorded.
+func (d *Distribution) N() int { return int(d.n) }
 
-// Mean reports the arithmetic mean, or 0 with no samples.
+// Mean reports the exact arithmetic mean, or 0 with no samples.
 func (d *Distribution) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
 	}
-	s := 0.0
-	for _, v := range d.samples {
-		s += v
-	}
-	return s / float64(len(d.samples))
+	return d.sum / float64(d.n)
 }
 
 // Percentile reports the p-th percentile (p in [0,100]) by

@@ -67,15 +67,18 @@ func Execute(spec JobSpec, h RunHooks) (*Result, error) {
 	if err != nil {
 		return nil, &InvalidSpecError{Err: err}
 	}
-	return runSpec(norm, h, nil)
+	return runSpec(norm, h, nil, nil)
 }
 
 // runSpec executes a normalized spec under h's hooks. limiter (nil =
 // unbounded) gates any extra sweep workers the job's parallelism
 // requests, so per-job fan-out and the worker pool share one CPU
-// budget. Deterministic: the same spec always yields the same Tables,
-// Series, VMDay and Text, at every parallelism and under any hooks.
-func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter) (*Result, error) {
+// budget. memo (nil = none) caches baseline cells across the jobs that
+// share it — the daemon installs one server-wide memo so, e.g., fig12
+// and fig13 jobs compute their common traced day once. Deterministic:
+// the same spec always yields the same Tables, Series, VMDay and Text,
+// at every parallelism, under any hooks, with or without a memo.
+func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter, memo *sweep.Memo) (*Result, error) {
 	// Observe is called from concurrent sweep cells when parallelism > 1.
 	var mu sync.Mutex
 	var engines []*sim.Engine
@@ -106,6 +109,7 @@ func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter) (*Result, error) 
 			Seed:        spec.Experiment.Seed,
 			Parallelism: parallelism,
 			Hooks:       hooks,
+			Memo:        memo,
 		})
 		if err != nil {
 			return nil, err

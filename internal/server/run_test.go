@@ -23,11 +23,13 @@ func TestRunSpecParallelMatchesSerial(t *testing.T) {
 		}
 		return norm
 	}
-	serial, err := runSpec(mk(0), RunHooks{}, nil)
+	serial, err := runSpec(mk(0), RunHooks{}, nil, nil)
 	if err != nil {
 		t.Fatalf("serial run: %v", err)
 	}
-	parallel, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(8))
+	// The parallel run shares a memo the way the daemon's Runner does;
+	// memoized cells must not perturb the rendered text.
+	parallel, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(8), sweep.NewMemo(0))
 	if err != nil {
 		t.Fatalf("parallel run: %v", err)
 	}
@@ -37,7 +39,7 @@ func TestRunSpecParallelMatchesSerial(t *testing.T) {
 	}
 	// A zero-slot budget must still make progress (each job's own worker
 	// never needs a slot).
-	starved, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(0))
+	starved, err := runSpec(mk(8), RunHooks{}, sweep.NewLimiter(0), nil)
 	if err != nil {
 		t.Fatalf("starved run: %v", err)
 	}

@@ -74,6 +74,12 @@ type Config struct {
 	// serial sweeps — the pool is already using every core.
 	CPUBudget int
 
+	// MemoEntries bounds the server-wide baseline-cell memo (default
+	// 512 entries) that lets concurrent or successive jobs share
+	// identical sweep cells (e.g. fig12 and fig13's common traced day).
+	// Negative disables memoization entirely.
+	MemoEntries int
+
 	// Runner is the execution function — a test seam (used by the
 	// server's own tests and internal/cluster's fault-injection
 	// backends); nil means runSpec (the real simulator). The pool fills
@@ -112,12 +118,21 @@ func (c Config) withDefaults() Config {
 	if c.TraceCapacity <= 0 {
 		c.TraceCapacity = obs.DefaultCapacity
 	}
+	if c.MemoEntries == 0 {
+		c.MemoEntries = 512
+	}
 	if c.Runner == nil {
 		// Extra sweep workers (beyond each job's own pool worker) draw
 		// from the budget left over after the worker pool is staffed.
 		limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
+		// One memo across all jobs: distinct specs still share their
+		// common baseline cells (result-neutral; see exp.Options.Memo).
+		var memo *sweep.Memo
+		if c.MemoEntries > 0 {
+			memo = sweep.NewMemo(c.MemoEntries)
+		}
 		c.Runner = func(spec JobSpec, h RunHooks) (*Result, error) {
-			return runSpec(spec, h, limiter)
+			return runSpec(spec, h, limiter, memo)
 		}
 	}
 	return c

@@ -10,10 +10,17 @@ import "fmt"
 // Event objects are owned by the engine and recycled through a free list
 // once dispatched, so steady-state scheduling (the self-rescheduling
 // timer pattern every model here uses) allocates nothing per event.
+//
+// An event carries either a plain callback (fn) or an argument-carrying
+// callback (afn + arg); the AtFunc family schedules the latter so hot
+// paths can reuse one long-lived handler instead of allocating a closure
+// per event.
 type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	afn    func(any)
+	arg    any
 	daemon bool
 }
 
@@ -65,7 +72,45 @@ func (e *Engine) AtDaemon(at Time, fn func()) {
 // AfterDaemon schedules a daemon event d after the current time.
 func (e *Engine) AfterDaemon(d Time, fn func()) { e.AtDaemon(e.now+d, fn) }
 
+// AtFunc schedules fn(arg) at absolute time at. It orders exactly like
+// At (same seq counter, same heap), but because fn is typically a
+// long-lived handler bound once at construction and arg a pooled object,
+// the call allocates nothing: no closure is created and pointer args are
+// boxed for free.
+func (e *Engine) AtFunc(at Time, fn func(any), arg any) {
+	e.pushArg(at, fn, arg, false)
+}
+
+// AfterFunc schedules fn(arg) d after the current time.
+func (e *Engine) AfterFunc(d Time, fn func(any), arg any) { e.AtFunc(e.now+d, fn, arg) }
+
+// AtDaemonFunc schedules fn(arg) as a daemon event (see AtDaemon).
+func (e *Engine) AtDaemonFunc(at Time, fn func(any), arg any) {
+	e.pushArg(at, fn, arg, true)
+}
+
+// AfterDaemonFunc schedules a daemon fn(arg) d after the current time.
+func (e *Engine) AfterDaemonFunc(d Time, fn func(any), arg any) {
+	e.AtDaemonFunc(e.now+d, fn, arg)
+}
+
 func (e *Engine) push(at Time, fn func(), daemon bool) {
+	ev := e.alloc(at, daemon)
+	ev.fn = fn
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) pushArg(at Time, fn func(any), arg any, daemon bool) {
+	ev := e.alloc(at, daemon)
+	ev.afn, ev.arg = fn, arg
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+// alloc pops a recycled Event (or makes one) with at/seq/daemon set and
+// both callback forms clear.
+func (e *Engine) alloc(at Time, daemon bool) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -73,17 +118,14 @@ func (e *Engine) push(at Time, fn func(), daemon bool) {
 	if !daemon {
 		e.normal++
 	}
-	var ev *Event
 	if k := len(e.free) - 1; k >= 0 {
-		ev = e.free[k]
+		ev := e.free[k]
 		e.free[k] = nil
 		e.free = e.free[:k]
-		ev.at, ev.seq, ev.fn, ev.daemon = at, e.seq, fn, daemon
-	} else {
-		ev = &Event{at: at, seq: e.seq, fn: fn, daemon: daemon}
+		ev.at, ev.seq, ev.daemon = at, e.seq, daemon
+		return ev
 	}
-	e.queue = append(e.queue, ev)
-	e.siftUp(len(e.queue) - 1)
+	return &Event{at: at, seq: e.seq, daemon: daemon}
 }
 
 // less orders the heap by time, then scheduling order.
@@ -140,11 +182,13 @@ func (e *Engine) popMin() *Event {
 	return ev
 }
 
-// recycle returns a dispatched event to the free list. The callback
-// reference is dropped so the closure (and whatever it captures) is
-// released even if the event idles on the free list.
+// recycle returns a dispatched event to the free list. The callback and
+// argument references are dropped so the closure (and whatever it
+// captures or points at) is released even if the event idles on the
+// free list.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
+	ev.afn, ev.arg = nil, nil
 	e.free = append(e.free, ev)
 }
 
@@ -226,9 +270,13 @@ func (e *Engine) RunUntil(deadline Time) int {
 			e.normal--
 		}
 		e.now = ev.at
-		fn := ev.fn
-		e.recycle(ev) // before fn: a schedule inside fn reuses the slot
-		fn()
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		e.recycle(ev) // before the callback: a schedule inside it reuses the slot
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		n++
 	}
 	if e.now < deadline && !e.stopped {
@@ -251,9 +299,13 @@ func (e *Engine) Run() int {
 			e.normal--
 		}
 		e.now = ev.at
-		fn := ev.fn
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
 		e.recycle(ev)
-		fn()
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
 		n++
 	}
 	return n

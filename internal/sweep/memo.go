@@ -1,0 +1,107 @@
+package sweep
+
+import "sync"
+
+// Memo is a single-flight result cache for sweep cells keyed by config
+// fingerprint. Matrix experiments share baseline cells — fig12 and fig13
+// run the identical VM-trace day, the energy matrix re-runs the same
+// timing configuration the standalone figures use — and because every
+// cell is a deterministic function of its config, computing each
+// distinct cell once and handing the stored result to later callers is
+// result-neutral: the memoized output is byte-for-byte the output the
+// caller would have computed.
+//
+// Concurrency: Do is safe from any number of goroutines. The first
+// caller of a key computes; concurrent callers of the same key block
+// until that computation finishes (single-flight), so two parallel
+// sweeps never duplicate a cell.
+//
+// Errors are never cached or served across callers: a cell that fails —
+// most importantly one aborted by its own job's Stop hook — must not
+// poison the key for jobs that were not canceled. On error the entry is
+// dropped; a waiter that observed another caller's error recomputes with
+// its own compute function (honoring its own hooks).
+type Memo struct {
+	mu      sync.Mutex
+	cap     int
+	hits    int64
+	entries map[string]*memoEntry
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewMemo returns a memo bounded to cap entries; cap <= 0 means
+// unbounded. When the memo is full, unknown keys are computed uncached
+// (correct, just not shared) rather than evicting — eviction would make
+// hit patterns depend on timing, which is harder to reason about in a
+// long-running daemon.
+func NewMemo(cap int) *Memo {
+	return &Memo{cap: cap, entries: make(map[string]*memoEntry)}
+}
+
+// Do returns the memoized value for key, computing it with compute on
+// first use. A nil *Memo computes directly — callers thread an optional
+// memo without branching.
+func (m *Memo) Do(key string, compute func() (any, error)) (any, error) {
+	if m == nil {
+		return compute()
+	}
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		if m.cap > 0 && len(m.entries) >= m.cap {
+			m.mu.Unlock()
+			return compute()
+		}
+		e = &memoEntry{}
+		m.entries[key] = e
+	} else {
+		m.hits++
+	}
+	m.mu.Unlock()
+
+	mine := false
+	e.once.Do(func() {
+		mine = true
+		e.val, e.err = compute()
+	})
+	if e.err == nil {
+		return e.val, nil
+	}
+	// Drop the failed entry so the key can be retried. Only the caller
+	// whose compute produced the error reports it; waiters recompute so
+	// another job's cancellation never leaks into their result.
+	m.mu.Lock()
+	if m.entries[key] == e {
+		delete(m.entries, key)
+	}
+	m.mu.Unlock()
+	if mine {
+		return nil, e.err
+	}
+	return compute()
+}
+
+// Len reports the number of resident entries (including in-flight ones).
+func (m *Memo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Hits reports how many Do calls were served by an existing entry.
+func (m *Memo) Hits() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits
+}

@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	m := NewMemo(0)
+	var computes int32
+	for i := 0; i < 5; i++ {
+		v, err := m.Do("k", func() (any, error) {
+			atomic.AddInt32(&computes, 1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 42 {
+			t.Fatalf("got %v, want 42", v)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if m.Len() != 1 || m.Hits() != 4 {
+		t.Fatalf("Len=%d Hits=%d, want 1 and 4", m.Len(), m.Hits())
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	m := NewMemo(0)
+	var computes int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := m.Do("k", func() (any, error) {
+				atomic.AddInt32(&computes, 1)
+				return "v", nil
+			})
+			if err != nil || v.(string) != "v" {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("concurrent Do computed %d times, want 1", computes)
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	m := NewMemo(0)
+	boom := errors.New("boom")
+	if _, err := m.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("failed entry retained: Len = %d", m.Len())
+	}
+	v, err := m.Do("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+}
+
+// A waiter that joins a computation which then fails (e.g. the computing
+// job was canceled) must not inherit that error: it recomputes with its
+// own function.
+func TestMemoWaiterRecomputesAfterOthersError(t *testing.T) {
+	m := NewMemo(0)
+	canceled := errors.New("canceled")
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	var waiterV any
+	var waiterErr error
+	done := make(chan struct{})
+	go func() {
+		_, _ = m.Do("k", func() (any, error) {
+			close(inCompute)
+			<-release
+			return nil, canceled
+		})
+		close(done)
+	}()
+	<-inCompute
+	waitDone := make(chan struct{})
+	go func() {
+		waiterV, waiterErr = m.Do("k", func() (any, error) { return 99, nil })
+		close(waitDone)
+	}()
+	close(release)
+	<-done
+	<-waitDone
+	if waiterErr != nil || waiterV.(int) != 99 {
+		t.Fatalf("waiter got %v, %v; want 99 from its own recompute", waiterV, waiterErr)
+	}
+}
+
+func TestMemoCapComputesUncached(t *testing.T) {
+	m := NewMemo(2)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Do(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var computes int
+	for i := 0; i < 3; i++ {
+		v, err := m.Do("overflow", func() (any, error) {
+			computes++
+			return "x", nil
+		})
+		if err != nil || v.(string) != "x" {
+			t.Fatalf("overflow Do = %v, %v", v, err)
+		}
+	}
+	if computes != 3 {
+		t.Fatalf("overflow key computed %d times, want 3 (uncached)", computes)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (cap respected)", m.Len())
+	}
+}
+
+func TestMemoNilComputesDirectly(t *testing.T) {
+	var m *Memo
+	v, err := m.Do("k", func() (any, error) { return 1, nil })
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("nil memo Do = %v, %v", v, err)
+	}
+	if m.Len() != 0 || m.Hits() != 0 {
+		t.Fatal("nil memo must report zero Len/Hits")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"greendimm/internal/kernel"
+	"greendimm/internal/mc"
 	"greendimm/internal/sim"
 )
 
@@ -11,6 +12,17 @@ import (
 // *mc.Controller).
 type Submitter interface {
 	Submit(pa uint64, write bool, done func(sim.Time)) error
+}
+
+// CallSubmitter is the allocation-free variant of Submitter (satisfied
+// by *mc.Controller): completions arrive on a long-lived mc.Completer
+// instead of a per-access closure. Core and Service type-assert their
+// Submitter for it and implement mc.Completer themselves, so against a
+// real controller the per-access path performs zero heap allocations;
+// plain Submitters (test fakes) transparently get the closure path.
+type CallSubmitter interface {
+	Submitter
+	SubmitCall(pa uint64, write bool, cb mc.Completer, id uint64) error
 }
 
 // CoreConfig configures a closed-loop core run.
@@ -29,11 +41,18 @@ type CoreConfig struct {
 // which is how interleaving's Fig. 3a speedups and GreenDIMM's Fig. 7/11
 // overheads are measured.
 type Core struct {
-	eng *sim.Engine
-	mem *kernel.Mem
-	sub Submitter
-	cfg CoreConfig
-	rng *sim.RNG
+	eng     *sim.Engine
+	mem     *kernel.Mem
+	sub     Submitter
+	callSub CallSubmitter // sub, when it supports the alloc-free path
+	cfg     CoreConfig
+	rng     *sim.RNG
+
+	// Handlers bound once at construction so the issue loop and its
+	// retry/timer re-arms never allocate a closure per access.
+	pumpFn  func()
+	timerFn func()
+	doneFn  func(sim.Time) // legacy-Submitter completion adapter
 
 	computeGap sim.Time // CPU time between consecutive accesses
 	cpuReady   sim.Time // compute frontier
@@ -69,6 +88,13 @@ func NewCore(eng *sim.Engine, mem *kernel.Mem, sub Submitter, cfg CoreConfig) (*
 		eng: eng, mem: mem, sub: sub, cfg: cfg,
 		rng: sim.NewRNG(cfg.Seed ^ int64(len(p.Name))),
 	}
+	c.callSub, _ = sub.(CallSubmitter)
+	c.pumpFn = c.pump
+	c.timerFn = func() {
+		c.timerSet = false
+		c.pump()
+	}
+	c.doneFn = func(lat sim.Time) { c.Complete(0, lat) }
 	// Instructions between misses = 1000/MPKI; time = insts/IPC/freq.
 	instPerMiss := 1000 / p.MPKI
 	c.computeGap = sim.Time(instPerMiss / p.IPC / cfg.FreqGHz * 1000) // ps
@@ -113,27 +139,19 @@ func (c *Core) pump() {
 		pa, ok := c.nextAddr()
 		if !ok {
 			// Footprint momentarily empty (driver shrink); retry shortly.
-			c.eng.After(10*sim.Microsecond, c.pump)
+			c.eng.After(10*sim.Microsecond, c.pumpFn)
 			return
 		}
 		write := !c.rng.Bool(c.cfg.Profile.ReadFrac)
-		err := c.sub.Submit(pa, write, func(lat sim.Time) {
-			c.inFlight--
-			c.completed++
-			c.totalLat += lat
-			if c.completed == c.cfg.Accesses {
-				c.finished = true
-				c.finish = c.eng.Now()
-				for _, fn := range c.onDone {
-					fn()
-				}
-				return
-			}
-			c.pump()
-		})
+		var err error
+		if c.callSub != nil {
+			err = c.callSub.SubmitCall(pa, write, c, 0)
+		} else {
+			err = c.sub.Submit(pa, write, c.doneFn)
+		}
 		if err != nil {
 			// Queue full: back off one DRAM service quantum.
-			c.eng.After(100*sim.Nanosecond, c.pump)
+			c.eng.After(100*sim.Nanosecond, c.pumpFn)
 			return
 		}
 		c.inFlight++
@@ -147,11 +165,26 @@ func (c *Core) pump() {
 	if c.issued < c.cfg.Accesses && c.inFlight < c.cfg.Profile.MLP &&
 		c.cpuReady > now && !c.timerSet {
 		c.timerSet = true
-		c.eng.At(c.cpuReady, func() {
-			c.timerSet = false
-			c.pump()
-		})
+		c.eng.At(c.cpuReady, c.timerFn)
 	}
+}
+
+// Complete implements mc.Completer: one access returned from the memory
+// system. It is the completion body the per-access closures used to
+// capture; all its state lives on the Core.
+func (c *Core) Complete(_ uint64, lat sim.Time) {
+	c.inFlight--
+	c.completed++
+	c.totalLat += lat
+	if c.completed == c.cfg.Accesses {
+		c.finished = true
+		c.finish = c.eng.Now()
+		for _, fn := range c.onDone {
+			fn()
+		}
+		return
+	}
+	c.pump()
 }
 
 // nextAddr produces the next physical address: sequential within the

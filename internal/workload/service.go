@@ -16,15 +16,34 @@ import (
 // CPU stall the GreenDIMM daemon injects shows up in the tail — exactly
 // the effect §6.2's tail-latency discussion is about.
 type Service struct {
-	eng *sim.Engine
-	mem *kernel.Mem
-	sub Submitter
-	cfg ServiceConfig
-	rng *sim.RNG
+	eng     *sim.Engine
+	mem     *kernel.Mem
+	sub     Submitter
+	callSub CallSubmitter // sub, when it supports the alloc-free path
+	cfg     ServiceConfig
+	rng     *sim.RNG
 
-	queue      []sim.Time // arrival times of queued ops
+	// queue[qhead:] holds the arrival times of queued ops; the head
+	// index (instead of re-slicing the front) lets the emptied buffer
+	// reset and reuse its capacity, so steady-state arrivals stop
+	// growing the backing array.
+	queue      []sim.Time
+	qhead      int
 	busy       bool
 	stallUntil sim.Time
+
+	// The op in service (busy == true). Keeping per-op state here
+	// instead of closing over it lets one bound completion handler
+	// serve every access of every op.
+	curArrival   sim.Time
+	curRemaining int
+
+	// Handlers bound once at construction; see Core.
+	arriveFn func()
+	serveFn  func()
+	finishFn func()
+	retryFn  func()
+	doneFn   func(sim.Time) // legacy-Submitter completion adapter
 
 	served    int64
 	arrived   int64
@@ -47,6 +66,11 @@ type ServiceConfig struct {
 	// Warmup discards response samples before this time.
 	Warmup sim.Time
 	Seed   int64
+	// SampleCap, when positive, bounds the retained response-time
+	// samples (metrics.Distribution.SetCap): the buffer is preallocated
+	// and long runs keep a deterministic decimated subset for
+	// percentiles while Mean/N stay exact. Zero retains every sample.
+	SampleCap int
 }
 
 // NewService allocates the profile's footprint and returns a stopped
@@ -67,11 +91,26 @@ func NewService(eng *sim.Engine, mem *kernel.Mem, sub Submitter, cfg ServiceConf
 	if _, err := mem.AllocPages(pages, true, cfg.Owner); err != nil {
 		return nil, fmt.Errorf("workload: service footprint: %w", err)
 	}
-	return &Service{
+	s := &Service{
 		eng: eng, mem: mem, sub: sub, cfg: cfg,
 		rng:       sim.NewRNG(cfg.Seed ^ 0x737663),
 		warmupCut: eng.Now() + cfg.Warmup,
-	}, nil
+	}
+	s.callSub, _ = sub.(CallSubmitter)
+	if cfg.SampleCap > 0 {
+		s.latencies.SetCap(cfg.SampleCap)
+	}
+	s.arriveFn = func() {
+		s.arrived++
+		s.queue = append(s.queue, s.eng.Now())
+		s.maybeServe()
+		s.scheduleArrival()
+	}
+	s.serveFn = s.maybeServe
+	s.finishFn = s.finishOp
+	s.retryFn = s.opStep
+	s.doneFn = func(lat sim.Time) { s.Complete(0, lat) }
+	return s, nil
 }
 
 // Start begins Poisson arrivals; they continue until Stop.
@@ -79,12 +118,7 @@ func (s *Service) Start() { s.scheduleArrival() }
 
 func (s *Service) scheduleArrival() {
 	gap := sim.Time(s.rng.Exp(1.0/s.cfg.OpsPerSec) * float64(sim.Second))
-	s.eng.After(gap, func() {
-		s.arrived++
-		s.queue = append(s.queue, s.eng.Now())
-		s.maybeServe()
-		s.scheduleArrival()
-	})
+	s.eng.After(gap, s.arriveFn)
 }
 
 // Stall blocks the server for d (daemon-induced CPU theft).
@@ -98,48 +132,62 @@ func (s *Service) Stall(d sim.Time) {
 
 // maybeServe starts the next op if the server is free.
 func (s *Service) maybeServe() {
-	if s.busy || len(s.queue) == 0 {
+	if s.busy || s.qhead == len(s.queue) {
 		return
 	}
 	start := s.eng.Now()
 	if s.stallUntil > start {
 		// Server is stalled; retry when the stall drains.
-		s.eng.At(s.stallUntil, s.maybeServe)
+		s.eng.At(s.stallUntil, s.serveFn)
 		return
 	}
 	s.busy = true
-	arrival := s.queue[0]
-	s.queue = s.queue[1:]
-	s.runOp(arrival, s.cfg.AccessesPerOp)
+	s.curArrival = s.queue[s.qhead]
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	}
+	s.curRemaining = s.cfg.AccessesPerOp
+	s.opStep()
 }
 
-// runOp issues the op's dependent access chain, then finishes after the
-// compute time.
-func (s *Service) runOp(arrival sim.Time, remaining int) {
-	if remaining == 0 {
-		s.eng.After(s.cfg.ComputePerOp, func() {
-			s.finish(arrival)
-		})
+// opStep advances the current op: issue the next access of its
+// dependent chain, or — chain done — finish after the compute time.
+func (s *Service) opStep() {
+	if s.curRemaining == 0 {
+		s.eng.After(s.cfg.ComputePerOp, s.finishFn)
 		return
 	}
 	pa, ok := s.nextAddr()
 	if !ok {
 		// Footprint gone (shouldn't happen for services); drop the op.
-		s.finish(arrival)
+		s.finishOp()
 		return
 	}
-	err := s.sub.Submit(pa, s.rng.Bool(1-s.cfg.Profile.ReadFrac), func(sim.Time) {
-		s.runOp(arrival, remaining-1)
-	})
+	write := s.rng.Bool(1 - s.cfg.Profile.ReadFrac)
+	var err error
+	if s.callSub != nil {
+		err = s.callSub.SubmitCall(pa, write, s, 0)
+	} else {
+		err = s.sub.Submit(pa, write, s.doneFn)
+	}
 	if err != nil {
-		s.eng.After(200*sim.Nanosecond, func() { s.runOp(arrival, remaining) })
+		s.eng.After(200*sim.Nanosecond, s.retryFn)
 	}
 }
 
-func (s *Service) finish(arrival sim.Time) {
+// Complete implements mc.Completer: one access of the current op's
+// dependent chain returned; issue the next.
+func (s *Service) Complete(uint64, sim.Time) {
+	s.curRemaining--
+	s.opStep()
+}
+
+func (s *Service) finishOp() {
 	now := s.eng.Now()
 	if now >= s.warmupCut {
-		s.latencies.Add((now - arrival).Microseconds())
+		s.latencies.Add((now - s.curArrival).Microseconds())
 	}
 	s.served++
 	s.busy = false

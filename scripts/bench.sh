@@ -8,17 +8,24 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   Default output: BENCH_<git-short-rev>.json in the repo root.
+#
+# Environment:
+#   BENCH_FILTER   -bench regex (default '.', everything) — narrow the
+#                  run when iterating on one hot path
+#   BENCH_TIME     -benchtime value (default '1x')
 set -eu
 
 cd "$(dirname "$0")/.."
 
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
 out="${1:-BENCH_${rev}.json}"
+filter="${BENCH_FILTER:-.}"
+benchtime="${BENCH_TIME:-1x}"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "==> go test -bench=. -benchtime=1x (GREENDIMM_QUICK=1)"
-GREENDIMM_QUICK=1 go test -run '^$' -bench=. -benchtime=1x -benchmem ./... | tee "$raw"
+echo "==> go test -bench=$filter -benchtime=$benchtime (GREENDIMM_QUICK=1)"
+GREENDIMM_QUICK=1 go test -run '^$' -bench="$filter" -benchtime="$benchtime" -benchmem ./... | tee "$raw"
 
 # Benchmark output lines look like:
 #   BenchmarkEngineDispatchChain-8  1  14.71 ns/op  0 B/op  0 allocs/op
@@ -45,7 +52,7 @@ END {
 }' "$raw" > "$raw.body"
 
 {
-    printf '{\n  "rev": "%s",\n  "quick": true,\n  "benchtime": "1x",\n  "benchmarks": {\n' "$rev"
+    printf '{\n  "rev": "%s",\n  "quick": true,\n  "benchtime": "%s",\n  "benchmarks": {\n' "$rev" "$benchtime"
     cat "$raw.body"
     printf '  }\n}\n'
 } > "$out"

@@ -37,13 +37,29 @@ echo "==> go test -race ./internal/obs/ (lock-free span ring)"
 # good as its race coverage; run it under the detector unconditionally.
 go test -race ./internal/obs/
 
-echo "==> alloc regression (engine dispatch hot path)"
-# Observability must stay free when disabled: the dispatch benchmarks
-# assert 0 allocs/op, and this runs them as tests so a regression fails
-# the gate, not just a benchmark readout.
-go test -run 'Alloc' ./internal/sim/
+echo "==> alloc regression (engine, controller, workload hot paths)"
+# The request path's zero-allocation contract, asserted as tests so a
+# regression fails the gate, not just a benchmark readout. Run WITHOUT
+# the race detector: AllocsPerRun must count only the code's own
+# allocations, and these same tests also run race-instrumented in the
+# repo-wide pass below.
+go test -run 'Alloc|SteadyState' ./internal/sim/ ./internal/mc/ ./internal/workload/
+
+echo "==> go test -race ./internal/mc/ (pooled-request reuse contract)"
+# The request pool recycles objects whose completion events are queued;
+# the reuse-while-pending test must always run under the detector.
+go test -race -run 'Pooled|QueueRemoval' ./internal/mc/
 
 echo "==> go test -race ./..."
 go test -race "$@" ./...
+
+echo "==> bench snapshot comparison"
+# With two or more BENCH_*.json snapshots present, gate the hot-path
+# benchmarks (>20% allocs/op regressions are fatal; ns/op warns).
+if [ "$(ls BENCH_*.json 2>/dev/null | wc -l)" -ge 2 ]; then
+    scripts/bench_compare.sh
+else
+    echo "  (skipped: fewer than two BENCH_*.json snapshots)"
+fi
 
 echo "OK"
