@@ -42,6 +42,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced horizons (faster, noisier)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		parallel   = flag.Int("parallel", 0, "sweep worker goroutines per experiment (0 = all CPUs, 1 = serial; output is identical either way)")
+		shards     = flag.Int("engine-shards", 0, "per-channel event lanes inside each simulation engine (0 = sequential, -1 = auto for this host; output is identical either way)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		specFile   = flag.String("spec", "", "run a JSON job-spec file (one spec object or an array) instead of -experiment")
 		backends   = flag.String("backends", "", "comma-separated greendimmd base URLs; jobs run remotely with routing, retries and hedging (in-process fallback if all are down)")
@@ -52,6 +53,13 @@ func main() {
 	if *parallel < 0 {
 		fmt.Fprintln(os.Stderr, "-parallel must be >= 0")
 		os.Exit(2)
+	}
+	if *shards < -1 || *shards > server.MaxEngineShards {
+		fmt.Fprintf(os.Stderr, "-engine-shards must be -1 (auto) or in [0, %d]\n", server.MaxEngineShards)
+		os.Exit(2)
+	}
+	if *shards == -1 {
+		*shards = exp.AutoEngineShards()
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -71,10 +79,12 @@ func main() {
 	case *backends != "" || *traceOut != "":
 		// Tracing needs the spec path: runSpecs threads an obs.Trace
 		// through execution, which the registry path has no seam for.
-		labels, specs := experimentSpecs(*which, *quick, *seed, *parallel)
+		labels, specs := experimentSpecs(*which, *quick, *seed, *parallel, *shards)
 		runSpecs(labels, specs, *backends, *hedgeAfter, *csvDir, *traceOut)
 	default:
-		runLocalRegistry(*which, exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}, *csvDir)
+		opts := exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
+		opts.Hooks.EngineShards = *shards
+		runLocalRegistry(*which, opts, *csvDir)
 	}
 }
 
@@ -212,7 +222,7 @@ func experimentIDs(which string) []string {
 }
 
 // experimentSpecs turns the CLI's experiment selection into job specs.
-func experimentSpecs(which string, quick bool, seed int64, parallel int) ([]string, []server.JobSpec) {
+func experimentSpecs(which string, quick bool, seed int64, parallel, shards int) ([]string, []server.JobSpec) {
 	experiments := exp.Registry()
 	var labels []string
 	var specs []server.JobSpec
@@ -226,9 +236,10 @@ func experimentSpecs(which string, quick bool, seed int64, parallel int) ([]stri
 		}
 		labels = append(labels, id)
 		specs = append(specs, server.JobSpec{
-			Kind:        server.KindExperiment,
-			Experiment:  &server.ExperimentSpec{ID: id, Quick: quick, Seed: seed},
-			Parallelism: parallel,
+			Kind:         server.KindExperiment,
+			Experiment:   &server.ExperimentSpec{ID: id, Quick: quick, Seed: seed},
+			Parallelism:  parallel,
+			EngineShards: shards,
 		})
 	}
 	return labels, specs

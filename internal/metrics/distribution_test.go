@@ -71,3 +71,42 @@ func TestDistributionMemoizesSort(t *testing.T) {
 		t.Fatalf("min after invalidation = %g, want 0", got)
 	}
 }
+
+func TestDistributionMergeFrom(t *testing.T) {
+	var a, b, ref Distribution
+	for i := 0; i < 100; i++ {
+		v := float64(i * 13 % 97)
+		ref.Add(v)
+		if i%3 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.MergeFrom(&b)
+	if a.N() != ref.N() {
+		t.Errorf("merged N = %d, want %d", a.N(), ref.N())
+	}
+	if a.Mean() != ref.Mean() {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), ref.Mean())
+	}
+	for _, p := range []float64{0, 50, 95, 100} {
+		if got, want := a.Percentile(p), ref.Percentile(p); got != want {
+			t.Errorf("merged P%v = %v, want %v", p, got, want)
+		}
+	}
+	// Merging into a distribution whose percentiles were already queried
+	// (samples sorted in place) must still see every retained sample.
+	var c, d Distribution
+	c.Add(5)
+	c.Add(1)
+	_ = c.Percentile(50)
+	d.Add(3)
+	c.MergeFrom(&d)
+	if got := c.Max(); got != 5 {
+		t.Errorf("post-sort merge Max = %v, want 5", got)
+	}
+	if got := c.N(); got != 3 {
+		t.Errorf("post-sort merge N = %d, want 3", got)
+	}
+}

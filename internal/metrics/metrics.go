@@ -178,6 +178,22 @@ func (d *Distribution) Add(v float64) {
 	}
 }
 
+// MergeFrom folds another distribution into d: counts and sums add
+// exactly (N and Mean stay exact over the union), and o's retained
+// percentile samples are appended to d's. The result is deterministic in
+// the merge call order — the controller merges its per-channel-shard
+// distributions in channel index order — and the merge ignores d's cap:
+// a merged snapshot retains at most the sum of its inputs' retained
+// samples. o is not modified.
+func (d *Distribution) MergeFrom(o *Distribution) {
+	d.n += o.n
+	d.sum += o.sum
+	if len(o.samples) > 0 {
+		d.samples = append(d.samples, o.samples...)
+		d.sorted = false
+	}
+}
+
 // N reports the exact number of samples recorded.
 func (d *Distribution) N() int { return int(d.n) }
 

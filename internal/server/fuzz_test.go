@@ -9,20 +9,21 @@ import (
 // FuzzJobSpecHash probes the content-address contract the cluster layer
 // leans on: for any spec that normalizes, (1) normalization is
 // idempotent, (2) the hash of the normalized form equals the hash of the
-// original, and (3) the execution knobs — Parallelism and TimeoutSec —
-// never change the hash, since specs differing only there must share a
-// cache entry.
+// original, and (3) the execution knobs — Parallelism, EngineShards and
+// TimeoutSec — never change the hash, since specs differing only there
+// must share a cache entry.
 func FuzzJobSpecHash(f *testing.F) {
-	f.Add("experiment", "fig12", true, int64(7), false, false, 2.5, int64(3), 0.0, 4, 12.0)
-	f.Add("vmserver", "", false, int64(0), true, true, 0.25, int64(1), 0.5, 0, 0.0)
-	f.Add("experiment", "hwcost", false, int64(0), false, true, 1.0, int64(9), 0.0, 64, 0.0)
-	f.Add("vmserver", "tab2", true, int64(-4), false, false, 0.0, int64(0), 1.5, 1, 3600.0)
-	f.Add("bogus", "fig1", false, int64(2), true, false, 24.0, int64(5), 0.0, 7, 1.0)
+	f.Add("experiment", "fig12", true, int64(7), false, false, 2.5, int64(3), 0.0, 4, 2, 12.0)
+	f.Add("vmserver", "", false, int64(0), true, true, 0.25, int64(1), 0.5, 0, 0, 0.0)
+	f.Add("experiment", "hwcost", false, int64(0), false, true, 1.0, int64(9), 0.0, 64, 16, 0.0)
+	f.Add("vmserver", "tab2", true, int64(-4), false, false, 0.0, int64(0), 1.5, 1, 4, 3600.0)
+	f.Add("bogus", "fig1", false, int64(2), true, false, 24.0, int64(5), 0.0, 7, -1, 1.0)
 
 	f.Fuzz(func(t *testing.T, kind, expID string, quick bool, expSeed int64,
 		ksm, greendimm bool, hours float64, vmSeed int64, volatility float64,
-		parallelism int, timeoutSec float64) {
-		spec := JobSpec{Kind: kind, Parallelism: parallelism, TimeoutSec: timeoutSec}
+		parallelism, engineShards int, timeoutSec float64) {
+		spec := JobSpec{Kind: kind, Parallelism: parallelism,
+			EngineShards: engineShards, TimeoutSec: timeoutSec}
 		switch kind {
 		case KindExperiment:
 			spec.Experiment = &ExperimentSpec{ID: expID, Quick: quick, Seed: expSeed}
@@ -63,6 +64,7 @@ func FuzzJobSpecHash(f *testing.F) {
 		// Execution knobs must never shift the content address.
 		knobbed := spec
 		knobbed.Parallelism = (parallelism + 1) % (MaxJobParallelism + 1)
+		knobbed.EngineShards = (engineShards + 1) % (MaxEngineShards + 1)
 		knobbed.TimeoutSec = timeoutSec + 17
 		h4, err := SpecHash(knobbed)
 		if err != nil {

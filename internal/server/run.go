@@ -89,9 +89,10 @@ func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter, memo *sweep.Memo)
 			engines = append(engines, e)
 			mu.Unlock()
 		},
-		Limiter:  limiter,
-		Trace:    h.Trace,
-		Progress: h.Progress,
+		Limiter:      limiter,
+		EngineShards: spec.EngineShards,
+		Trace:        h.Trace,
+		Progress:     h.Progress,
 	}
 	parallelism := spec.Parallelism
 	if parallelism == 0 {

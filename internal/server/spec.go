@@ -43,10 +43,25 @@ type JobSpec struct {
 	// TimeoutSec — this is an execution knob excluded from the cache
 	// key: specs differing only here share one cache entry.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// EngineShards, when >= 2, runs each of the job's engines with
+	// channel-sharded execution (exp.Hooks.EngineShards): per-channel
+	// event lanes fan out to workers where the memory controller's
+	// lookahead allows. Shard workers draw on the same server CPU budget
+	// as extra sweep workers, so parallelism x shards cannot
+	// oversubscribe the machine. Results are byte-identical at every
+	// setting, so — like Parallelism — this is an execution knob excluded
+	// from the cache key.
+	EngineShards int `json:"engine_shards,omitempty"`
 }
 
 // MaxJobParallelism bounds the per-job sweep fan-out a spec may request.
 const MaxJobParallelism = 64
+
+// MaxEngineShards bounds the per-engine shard count a spec may request;
+// the paper's organizations top out at four channels, so anything beyond
+// a small multiple is waste.
+const MaxEngineShards = 16
 
 // ExperimentSpec selects a registry experiment — the same ids and knobs
 // as `greendimm -experiment <id> [-quick] [-seed n]`.
@@ -72,6 +87,9 @@ func (s JobSpec) normalized() (JobSpec, error) {
 	}
 	if s.Parallelism < 0 || s.Parallelism > MaxJobParallelism {
 		return s, fmt.Errorf("parallelism %d must be in [0, %d]", s.Parallelism, MaxJobParallelism)
+	}
+	if s.EngineShards < 0 || s.EngineShards > MaxEngineShards {
+		return s, fmt.Errorf("engine_shards %d must be in [0, %d]", s.EngineShards, MaxEngineShards)
 	}
 	switch s.Kind {
 	case KindExperiment:

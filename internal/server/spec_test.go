@@ -43,6 +43,12 @@ func TestSpecHashCanonicalization(t *testing.T) {
 	if mustHash(t, implicit) != mustHash(t, par) {
 		t.Error("parallelism changed the cache key")
 	}
+	// Nor the engine shard count, for the same reason.
+	sharded := implicit
+	sharded.EngineShards = 4
+	if mustHash(t, implicit) != mustHash(t, sharded) {
+		t.Error("engine_shards changed the cache key")
+	}
 	// Anything that changes the simulation changes the key.
 	other := JobSpec{Kind: KindVMServer, VMServer: &exp.VMScenario{GreenDIMM: true, Seed: 7}}
 	if mustHash(t, implicit) == mustHash(t, other) {
@@ -71,6 +77,8 @@ func TestSpecExperimentDefaultsAndValidation(t *testing.T) {
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, TimeoutSec: -1},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: -1},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: MaxJobParallelism + 1},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, EngineShards: -1},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, EngineShards: MaxEngineShards + 1},
 	}
 	for _, spec := range bad {
 		if _, err := spec.normalized(); err == nil {

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Event is a callback scheduled to run at a particular simulated time.
 // Events scheduled for the same time run in scheduling order (stable).
@@ -22,6 +25,11 @@ type Event struct {
 	afn    func(any)
 	arg    any
 	daemon bool
+	// lane tags the shard that owns this event's state: 0 is the global
+	// lane (cross-channel actors — cores, policy, completions), 1..shards
+	// are per-channel lanes whose events touch only that channel's state.
+	// Always 0 when sharding is off. See sharded.go.
+	lane int32
 }
 
 // Engine is a deterministic discrete-event simulation engine.
@@ -42,6 +50,27 @@ type Engine struct {
 	checkEvery int         // poll the stop check every this many events
 	checkIn    int         // events left until the next poll
 	stopCheck  func() bool // nil: no external cancellation
+
+	// Channel sharding (sharded.go). On the root engine: shard count,
+	// lookahead, lane views, and coordinator scratch. On a lane view
+	// (parent != nil) only parent, lane and ls are meaningful; every other
+	// field is unused.
+	parent      *Engine
+	lane        int32
+	ls          *laneState
+	shards      int
+	lookahead   Time
+	fanoutMin   int
+	stride      int // sequential dispatches left before the next fan-out try
+	budgetAcq   func() bool
+	budgetRel   func()
+	lanes       []*Engine
+	scratch     []*Event
+	activeLanes []*laneState
+	mergeIdx    []int
+	wg          sync.WaitGroup
+	pool        *shardPool
+	windows     int // fan-out windows dispatched (observability/testing)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -49,8 +78,18 @@ func NewEngine() *Engine {
 	return &Engine{}
 }
 
-// Now reports the current simulated time.
-func (e *Engine) Now() Time { return e.now }
+// Now reports the current simulated time. On a lane view inside a fan-out
+// window it is the lane's mini-clock (the time of the lane event being
+// dispatched); everywhere else it is the root engine's clock.
+func (e *Engine) Now() Time {
+	if e.parent != nil {
+		if e.ls.active {
+			return e.ls.now
+		}
+		return e.parent.now
+	}
+	return e.now
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past panics:
 // it always indicates a modelling bug, and silently reordering events would
@@ -60,7 +99,7 @@ func (e *Engine) At(at Time, fn func()) {
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.At(e.Now()+d, fn) }
 
 // AtDaemon schedules a daemon event: it runs normally under RunUntil and
 // whenever ordinary events are still pending, but does not by itself keep
@@ -70,7 +109,7 @@ func (e *Engine) AtDaemon(at Time, fn func()) {
 }
 
 // AfterDaemon schedules a daemon event d after the current time.
-func (e *Engine) AfterDaemon(d Time, fn func()) { e.AtDaemon(e.now+d, fn) }
+func (e *Engine) AfterDaemon(d Time, fn func()) { e.AtDaemon(e.Now()+d, fn) }
 
 // AtFunc schedules fn(arg) at absolute time at. It orders exactly like
 // At (same seq counter, same heap), but because fn is typically a
@@ -82,7 +121,7 @@ func (e *Engine) AtFunc(at Time, fn func(any), arg any) {
 }
 
 // AfterFunc schedules fn(arg) d after the current time.
-func (e *Engine) AfterFunc(d Time, fn func(any), arg any) { e.AtFunc(e.now+d, fn, arg) }
+func (e *Engine) AfterFunc(d Time, fn func(any), arg any) { e.AtFunc(e.Now()+d, fn, arg) }
 
 // AtDaemonFunc schedules fn(arg) as a daemon event (see AtDaemon).
 func (e *Engine) AtDaemonFunc(at Time, fn func(any), arg any) {
@@ -91,10 +130,14 @@ func (e *Engine) AtDaemonFunc(at Time, fn func(any), arg any) {
 
 // AfterDaemonFunc schedules a daemon fn(arg) d after the current time.
 func (e *Engine) AfterDaemonFunc(d Time, fn func(any), arg any) {
-	e.AtDaemonFunc(e.now+d, fn, arg)
+	e.AtDaemonFunc(e.Now()+d, fn, arg)
 }
 
 func (e *Engine) push(at Time, fn func(), daemon bool) {
+	if e.parent != nil {
+		e.laneSched(at, e.lane, fn, nil, nil, daemon)
+		return
+	}
 	ev := e.alloc(at, daemon)
 	ev.fn = fn
 	e.queue = append(e.queue, ev)
@@ -102,6 +145,10 @@ func (e *Engine) push(at Time, fn func(), daemon bool) {
 }
 
 func (e *Engine) pushArg(at Time, fn func(any), arg any, daemon bool) {
+	if e.parent != nil {
+		e.laneSched(at, e.lane, nil, fn, arg, daemon)
+		return
+	}
 	ev := e.alloc(at, daemon)
 	ev.afn, ev.arg = fn, arg
 	e.queue = append(e.queue, ev)
@@ -122,7 +169,7 @@ func (e *Engine) alloc(at Time, daemon bool) *Event {
 		ev := e.free[k]
 		e.free[k] = nil
 		e.free = e.free[:k]
-		ev.at, ev.seq, ev.daemon = at, e.seq, daemon
+		ev.at, ev.seq, ev.daemon, ev.lane = at, e.seq, daemon, 0
 		return ev
 	}
 	return &Event{at: at, seq: e.seq, daemon: daemon}
@@ -258,6 +305,12 @@ func (e *Engine) interrupted() bool {
 // last executed event (or at deadline if it advanced past all events).
 // It returns the number of events executed.
 func (e *Engine) RunUntil(deadline Time) int {
+	if e.parent != nil {
+		panic("sim: RunUntil on a lane view")
+	}
+	if e.shards >= 2 && e.lookahead > 0 {
+		return e.runSharded(deadline, true)
+	}
 	e.stopped = false
 	e.checkIn = 0
 	n := 0
@@ -290,6 +343,12 @@ func (e *Engine) RunUntil(deadline Time) int {
 // still execute; trailing daemon events stay queued.
 // It returns the number of events executed.
 func (e *Engine) Run() int {
+	if e.parent != nil {
+		panic("sim: Run on a lane view")
+	}
+	if e.shards >= 2 && e.lookahead > 0 {
+		return e.runSharded(0, false)
+	}
 	e.stopped = false
 	e.checkIn = 0
 	n := 0

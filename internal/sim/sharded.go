@@ -1,0 +1,618 @@
+// Channel-sharded execution: intra-simulation parallelism that is
+// byte-identical to the sequential engine.
+//
+// The model is conservative parallel discrete-event simulation with the
+// determinism contract turned all the way up. One global heap and one
+// global sequence counter stay authoritative — equal-time ties always
+// resolve in schedule order, exactly as in the sequential engine — and
+// parallelism is extracted only from provably independent prefixes of the
+// dispatch order:
+//
+//   - Events carry a lane tag. Lane 0 is the global shard (workload
+//     cores, kernel policy, request completions — anything that may touch
+//     cross-channel state). Lanes 1..shards each own one channel's state;
+//     a lane event may only read/write its lane's state, schedule further
+//     events on its own lane, or schedule global events at least
+//     `lookahead` in the future (AtGlobalFunc).
+//   - The coordinator (the goroutine inside Run/RunUntil) dispatches
+//     global events itself. When the heap's head is a lane event it peels
+//     off a window: the maximal run of consecutive lane events, in global
+//     (time, seq) order, that ends before the first queued global event
+//     and before windowStart+lookahead. By the lane rules above, no event
+//     outside the window can observe or perturb anything a window event
+//     does, so the window partitions by lane into independent sequential
+//     sub-executions.
+//   - Each lane's slice of the window runs on its own worker (mini event
+//     loops: a lane event scheduling its own lane inside the window —
+//     e.g. a controller kick re-arm — is dispatched in-window). Every
+//     schedule call a worker makes is recorded in a per-lane log rather
+//     than applied.
+//   - At the join, the coordinator merges the per-lane dispatch logs back
+//     into the global (time, seq) order and replays the recorded schedule
+//     calls in that order, assigning sequence numbers from the global
+//     counter. The assigned values — and therefore all future tie-breaks
+//     — are exactly the ones the sequential engine would have assigned.
+//
+// The lookahead is the minimum cross-shard message latency: the memory
+// controller registers min(tCL, tCWL)+tBL, the earliest a command issued
+// now can return data (and thereby touch a core on the global lane).
+// Workloads whose global-lane events are dense (closed-loop cores
+// reacting to every completion) produce short windows; the fan-out
+// threshold then keeps dispatch on the sequential path, so sharding never
+// costs more than the threshold test. See DESIGN.md §10.
+package sim
+
+import "fmt"
+
+// DefaultShardFanout is the minimum window size (events) worth handing to
+// workers; smaller windows dispatch sequentially. Purely a performance
+// knob: results are identical at every setting.
+const DefaultShardFanout = 8
+
+// fanoutRetryStride is how many sequential dispatches to run after a
+// failed window attempt before probing again, bounding the cost of window
+// construction on workloads whose windows never reach the threshold.
+const fanoutRetryStride = 64
+
+// maxWindow bounds events popped into one window.
+const maxWindow = 4096
+
+// schedRec records one schedule call made during a window, to be replayed
+// (or, for in-window lane events, sequence-stamped) at the merge.
+type schedRec struct {
+	at     Time
+	lane   int32
+	daemon bool
+	mini   bool   // dispatched inside the window; not replayed
+	seq    uint64 // assigned at merge time, in sequential order
+	fn     func()
+	afn    func(any)
+	arg    any
+}
+
+// dispRec is one entry of a lane's dispatch log: which event ran and the
+// range of schedule calls it made. Window events carry their real seq;
+// mini events inherit the seq their creating call is assigned during the
+// merge (available by the time the record is compared, since the creator
+// dispatched — and so merged — strictly earlier).
+type dispRec struct {
+	at             Time
+	seq            uint64
+	createdBy      int32 // index into calls, or -1 for window events
+	callOff, callN int32
+}
+
+// miniRef is a pending in-window lane event: an index into the lane's
+// call log, heap-ordered by (at, idx). Creation order (idx) is exactly
+// sequential seq order for equal times: every in-window call outranks
+// every window event's pre-assigned seq, and within the lane calls are
+// made in sequential order.
+type miniRef struct {
+	at  Time
+	idx int32
+}
+
+// laneState is one lane view's window-execution state. The coordinator
+// fills win/horizon and flips active before the hand-off; the worker owns
+// every field until the join; the coordinator reads the logs after.
+type laneState struct {
+	active  bool
+	now     Time
+	horizon Time
+	win     []*Event
+	calls   []schedRec
+	log     []dispRec
+	mini    []miniRef
+	task    func() // bound once: run the window, then signal the join
+}
+
+type shardPool struct {
+	tasks chan func()
+	n     int      // spawned workers
+	rel   []func() // budget releases, one per worker (may be nil)
+}
+
+// SetShards enables channel-sharded execution with n per-channel lanes
+// (n <= 1 disables it; events still dispatch identically). Call before
+// handing out Lane views. Sharded dispatch additionally requires a
+// registered lookahead (SetShardLookahead); without one the engine runs
+// sequentially regardless of n.
+func (e *Engine) SetShards(n int) {
+	if e.parent != nil {
+		panic("sim: SetShards on a lane view")
+	}
+	if e.lanes != nil {
+		panic("sim: SetShards after Lane views were created")
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.shards = n
+	if e.fanoutMin == 0 {
+		e.fanoutMin = DefaultShardFanout
+	}
+}
+
+// Shards reports the configured lane count (0 = sharding off).
+func (e *Engine) Shards() int { return e.shards }
+
+// SetShardLookahead registers d as an upper bound on how soon a lane
+// event may schedule onto the global lane: every AtGlobalFunc call made
+// from lane context must land at least d after the window start. The
+// memory controller registers its minimum data-return latency. Multiple
+// registrations keep the minimum. d <= 0 is ignored.
+func (e *Engine) SetShardLookahead(d Time) {
+	if e.parent != nil {
+		panic("sim: SetShardLookahead on a lane view")
+	}
+	if d <= 0 {
+		return
+	}
+	if e.lookahead == 0 || d < e.lookahead {
+		e.lookahead = d
+	}
+}
+
+// ShardLookahead reports the registered lookahead (0 = none).
+func (e *Engine) ShardLookahead() Time { return e.lookahead }
+
+// FanoutWindows reports how many fan-out windows this engine has
+// dispatched across workers so far (always 0 with sharding off).
+// Observability for tuning the fan-out threshold, and how tests prove a
+// sharded run actually exercised the parallel path.
+func (e *Engine) FanoutWindows() int { return e.windows }
+
+// SetShardFanout sets the minimum window size worth fanning out to
+// workers (min <= 0 restores DefaultShardFanout). Purely a performance
+// knob — results are byte-identical at every setting — exposed so tests
+// can force fan-out on tiny workloads.
+func (e *Engine) SetShardFanout(min int) {
+	if min <= 0 {
+		min = DefaultShardFanout
+	}
+	e.fanoutMin = min
+}
+
+// SetShardBudget installs a shared goroutine budget for shard workers:
+// each worker beyond the coordinator spawns only if acquire reports true,
+// and calls release when the run ends. greendimmd wires the machine-wide
+// sweep.Limiter here so per-job parallelism × engine shards cannot
+// oversubscribe the CPU budget; lanes that get no worker run on the
+// coordinator, with identical results.
+func (e *Engine) SetShardBudget(acquire func() bool, release func()) {
+	e.budgetAcq, e.budgetRel = acquire, release
+}
+
+// Lane returns the engine handle for channel k's shard. With sharding off
+// it is the engine itself, so model code is written once against the view
+// API. Views support Now and the At/After scheduling family (tagged with
+// the lane), plus AtGlobalFunc for cross-shard messages; they cannot Run.
+// Channels map onto lanes round-robin (1 + k%shards), so any channel
+// count works with any shard count.
+func (e *Engine) Lane(k int) *Engine {
+	if e.parent != nil {
+		panic("sim: Lane on a lane view")
+	}
+	if k < 0 {
+		panic(fmt.Sprintf("sim: negative lane key %d", k))
+	}
+	if e.shards <= 0 {
+		return e
+	}
+	id := 1 + k%e.shards
+	if e.lanes == nil {
+		e.lanes = make([]*Engine, e.shards+1)
+	}
+	v := e.lanes[id]
+	if v == nil {
+		ls := &laneState{}
+		v = &Engine{parent: e, lane: int32(id), ls: ls}
+		ls.task = func() { ls.run(); e.wg.Done() }
+		e.lanes[id] = v
+	}
+	return v
+}
+
+// AtGlobalFunc schedules fn(arg) on the global lane at absolute time at.
+// On the root engine (or with sharding off) it is exactly AtFunc. From
+// lane context inside a window, at must be at least the registered
+// lookahead past the window start — the controller's data-return path
+// guarantees this — or the call panics, because the sequential engine
+// would have interleaved the event mid-window.
+func (e *Engine) AtGlobalFunc(at Time, fn func(any), arg any) {
+	if e.parent != nil {
+		e.laneSched(at, 0, nil, fn, arg, false)
+		return
+	}
+	e.pushArg(at, fn, arg, false)
+}
+
+// laneSched handles every schedule request arriving through a lane view.
+// Outside a window it is a direct tagged push on the root engine; inside
+// a window it is appended to the lane's call log, becoming a mini event
+// when it targets this lane within the window horizon.
+func (v *Engine) laneSched(at Time, lane int32, fn func(), afn func(any), arg any, daemon bool) {
+	ls := v.ls
+	if !ls.active {
+		p := v.parent
+		ev := p.alloc(at, daemon)
+		ev.lane = lane
+		ev.fn, ev.afn, ev.arg = fn, afn, arg
+		p.queue = append(p.queue, ev)
+		p.siftUp(len(p.queue) - 1)
+		return
+	}
+	if at < ls.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, ls.now))
+	}
+	mini := lane == v.lane && at < ls.horizon
+	if lane != v.lane && at < ls.horizon {
+		panic(fmt.Sprintf(
+			"sim: cross-shard event at %v inside the lookahead window ending at %v (registered lookahead too large for the model)",
+			at, ls.horizon))
+	}
+	idx := int32(len(ls.calls))
+	ls.calls = append(ls.calls, schedRec{at: at, lane: lane, daemon: daemon, mini: mini, fn: fn, afn: afn, arg: arg})
+	if mini {
+		ls.miniPush(miniRef{at: at, idx: idx})
+	}
+}
+
+// --- lane worker ---
+
+// run executes the lane's slice of the window: the pre-popped window
+// events (already in global dispatch order) merged with in-window lane
+// events by (time, then window-before-mini, then creation order) — which
+// is exactly the sequential dispatch order restricted to this lane, since
+// window events' seqs all predate in-window ones.
+func (ls *laneState) run() {
+	i := 0
+	for i < len(ls.win) || len(ls.mini) > 0 {
+		if i < len(ls.win) && (len(ls.mini) == 0 || ls.win[i].at <= ls.mini[0].at) {
+			ev := ls.win[i]
+			i++
+			ls.now = ev.at
+			off := int32(len(ls.calls))
+			if ev.afn != nil {
+				ev.afn(ev.arg)
+			} else {
+				ev.fn()
+			}
+			ls.log = append(ls.log, dispRec{at: ev.at, seq: ev.seq, createdBy: -1, callOff: off, callN: int32(len(ls.calls)) - off})
+		} else {
+			m := ls.miniPop()
+			sc := ls.calls[m.idx] // copy: the callback may grow ls.calls
+			ls.now = m.at
+			off := int32(len(ls.calls))
+			if sc.afn != nil {
+				sc.afn(sc.arg)
+			} else {
+				sc.fn()
+			}
+			ls.log = append(ls.log, dispRec{at: m.at, createdBy: m.idx, callOff: off, callN: int32(len(ls.calls)) - off})
+		}
+	}
+}
+
+func (ls *laneState) miniPush(m miniRef) {
+	ls.mini = append(ls.mini, m)
+	q := ls.mini
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !miniLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+func (ls *laneState) miniPop() miniRef {
+	q := ls.mini
+	m := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	ls.mini = q[:n]
+	q = ls.mini
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && miniLess(q[r], q[l]) {
+			c = r
+		}
+		if !miniLess(q[c], q[i]) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return m
+}
+
+func miniLess(a, b miniRef) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.idx < b.idx
+}
+
+// --- coordinator ---
+
+// runSharded is the sharded replacement for the Run/RunUntil loops
+// (bounded selects RunUntil semantics with the given deadline). Global
+// events dispatch on the coordinator exactly as in the sequential loop;
+// runs of lane events fan out through tryWindow.
+func (e *Engine) runSharded(deadline Time, bounded bool) int {
+	e.stopped = false
+	e.checkIn = 0
+	defer e.stopPool()
+	n := 0
+	for !e.interrupted() {
+		if bounded {
+			if len(e.queue) == 0 || e.queue[0].at > deadline {
+				break
+			}
+		} else if e.normal <= 0 {
+			break
+		}
+		if e.queue[0].lane != 0 && e.stride <= 0 {
+			if w := e.tryWindow(deadline, bounded); w > 0 {
+				n += w
+				continue
+			}
+			e.stride = fanoutRetryStride
+		} else if e.stride > 0 {
+			e.stride--
+		}
+		ev := e.popMin()
+		if !ev.daemon {
+			e.normal--
+		}
+		e.now = ev.at
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		e.recycle(ev)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
+		n++
+	}
+	if bounded && e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return n
+}
+
+// tryWindow peels a window off the head of the queue, fans it out, and
+// merges the results; it returns the number of events dispatched, or 0
+// after restoring the queue untouched when the window is not worth the
+// hand-off (too few events, or a single lane).
+func (e *Engine) tryWindow(deadline Time, bounded bool) int {
+	t0 := e.queue[0].at
+	horizon := t0 + e.lookahead
+	if bounded && deadline+1 < horizon {
+		horizon = deadline + 1 // window events must obey the deadline
+	}
+	e.scratch = e.scratch[:0]
+	for len(e.queue) > 0 && len(e.scratch) < maxWindow {
+		head := e.queue[0]
+		if head.lane == 0 || head.at >= horizon {
+			break
+		}
+		// Run stops at the last ordinary event; keep at least one ordinary
+		// event outside the window so no trailing daemon dispatches that
+		// the sequential loop would never have run.
+		if !bounded && !head.daemon && e.normal == 1 {
+			break
+		}
+		ev := e.popMin()
+		if !ev.daemon {
+			e.normal--
+		}
+		e.scratch = append(e.scratch, ev)
+	}
+
+	// Distribute by lane, preserving global order within each lane.
+	e.activeLanes = e.activeLanes[:0]
+	for _, ev := range e.scratch {
+		ls := e.lanes[ev.lane].ls
+		if len(ls.win) == 0 {
+			e.activeLanes = append(e.activeLanes, ls)
+		}
+		ls.win = append(ls.win, ev)
+	}
+
+	if len(e.scratch) < e.fanoutMin || len(e.activeLanes) < 2 {
+		for _, ls := range e.activeLanes {
+			ls.win = ls.win[:0]
+		}
+		for _, ev := range e.scratch {
+			if !ev.daemon {
+				e.normal++
+			}
+			e.queue = append(e.queue, ev)
+			e.siftUp(len(e.queue) - 1)
+		}
+		clearEvents(e.scratch)
+		return 0
+	}
+
+	// The in-window (mini) horizon is additionally capped by the earliest
+	// event still queued: a queued global (or an unpopped lane event) at
+	// time T must dispatch before any in-window schedule landing at or
+	// after T, so minis are confined strictly before it. Deferred calls at
+	// or past this cap replay into the heap with merge-assigned seqs and
+	// order correctly against it.
+	if len(e.queue) > 0 && e.queue[0].at < horizon {
+		horizon = e.queue[0].at
+	}
+
+	// Fan out: the coordinator takes the first lane; the rest go to pool
+	// workers when the budget allows, and run inline here otherwise —
+	// placement never affects results.
+	for _, ls := range e.activeLanes {
+		ls.horizon = horizon
+		ls.now = t0
+		ls.active = true
+	}
+	e.ensurePool(len(e.activeLanes) - 1)
+	handed := 0
+	for _, ls := range e.activeLanes[1:] {
+		if handed < e.pool.n {
+			e.wg.Add(1)
+			e.pool.tasks <- ls.task
+			handed++
+		} else {
+			ls.run()
+		}
+	}
+	e.activeLanes[0].run()
+	e.wg.Wait()
+
+	n := e.mergeWindow()
+	e.windows++
+
+	for _, ls := range e.activeLanes {
+		ls.active = false
+		clearCalls(ls.calls)
+		ls.calls = ls.calls[:0]
+		ls.log = ls.log[:0]
+		ls.win = ls.win[:0]
+	}
+	for _, ev := range e.scratch {
+		e.recycle(ev)
+	}
+	clearEvents(e.scratch)
+	return n
+}
+
+// mergeWindow re-establishes the sequential order across the lanes'
+// dispatch logs and replays every recorded schedule call in that order,
+// consuming sequence numbers exactly as the sequential engine would have:
+// in-window dispatches get their calls stamped, everything else is pushed
+// back into the global heap. Returns the number of events dispatched.
+func (e *Engine) mergeWindow() int {
+	e.mergeIdx = e.mergeIdx[:0]
+	n := 0
+	for _, ls := range e.activeLanes {
+		e.mergeIdx = append(e.mergeIdx, 0)
+		n += len(ls.log)
+	}
+	for {
+		best := -1
+		var bAt Time
+		var bSeq uint64
+		for li, ls := range e.activeLanes {
+			k := e.mergeIdx[li]
+			if k >= len(ls.log) {
+				continue
+			}
+			r := &ls.log[k]
+			s := r.seq
+			if r.createdBy >= 0 {
+				// The creating call merged strictly earlier, so its seq is
+				// already assigned.
+				s = ls.calls[r.createdBy].seq
+			}
+			if best < 0 || r.at < bAt || (r.at == bAt && s < bSeq) {
+				best, bAt, bSeq = li, r.at, s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ls := e.activeLanes[best]
+		r := &ls.log[e.mergeIdx[best]]
+		e.mergeIdx[best]++
+		for j := r.callOff; j < r.callOff+r.callN; j++ {
+			sc := &ls.calls[j]
+			e.seq++
+			sc.seq = e.seq
+			if !sc.mini {
+				e.replayPush(sc)
+			}
+		}
+	}
+	return n
+}
+
+// replayPush inserts a deferred schedule call into the global heap with
+// its merge-assigned sequence number.
+func (e *Engine) replayPush(sc *schedRec) {
+	var ev *Event
+	if k := len(e.free) - 1; k >= 0 {
+		ev = e.free[k]
+		e.free[k] = nil
+		e.free = e.free[:k]
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.daemon, ev.lane = sc.at, sc.seq, sc.daemon, sc.lane
+	ev.fn, ev.afn, ev.arg = sc.fn, sc.afn, sc.arg
+	if !sc.daemon {
+		e.normal++
+	}
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) ensurePool(want int) {
+	if max := e.shards - 1; want > max {
+		want = max
+	}
+	if e.pool == nil {
+		e.pool = &shardPool{tasks: make(chan func())}
+	}
+	for e.pool.n < want {
+		var rel func()
+		if e.budgetAcq != nil {
+			if !e.budgetAcq() {
+				break
+			}
+			rel = e.budgetRel
+		}
+		e.pool.rel = append(e.pool.rel, rel)
+		go func(tasks chan func()) {
+			for f := range tasks {
+				f()
+			}
+		}(e.pool.tasks)
+		e.pool.n++
+	}
+}
+
+// stopPool ends the run's workers and returns their budget slots. Workers
+// are per-run so sweeps that build thousands of engines leak nothing.
+func (e *Engine) stopPool() {
+	if e.pool == nil {
+		return
+	}
+	close(e.pool.tasks)
+	for _, rel := range e.pool.rel {
+		if rel != nil {
+			rel()
+		}
+	}
+	e.pool = nil
+}
+
+// clearEvents drops the pointers a reused scratch slice retains.
+func clearEvents(s []*Event) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// clearCalls drops callback/argument references so a reused call log
+// retains nothing between windows.
+func clearCalls(s []schedRec) {
+	for i := range s {
+		s[i] = schedRec{}
+	}
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// The sharded-engine contract: with lane views and a registered
+// lookahead, Run/RunUntil produce results byte-identical to the
+// sequential engine at any shard count, any GOMAXPROCS, any fan-out
+// threshold, and any worker-budget outcome. These tests drive a
+// synthetic multi-lane model (self-rescheduling per-lane chains, lane
+// minis inside the lookahead, cross-shard messages beyond it, daemon
+// churn) and compare full dispatch logs against the sequential run.
+
+type shardModel struct {
+	eng       *Engine
+	lanes     []*laneActor
+	L         Time
+	globalLog []string
+	counter   uint64
+}
+
+type laneActor struct {
+	m       *shardModel
+	id      int
+	eng     *Engine
+	rng     uint64
+	left    int
+	step    int
+	globals int // cross-shard messages this actor may still send (lane-local state)
+	log     []string
+}
+
+func (a *laneActor) next() uint64 {
+	a.rng = a.rng*6364136223846793005 + 1442695040888963407
+	return a.rng >> 33
+}
+
+func (a *laneActor) record(kind string) {
+	a.log = append(a.log, fmt.Sprintf("%s@%d#%d", kind, a.eng.Now(), a.step))
+	a.step++
+}
+
+// tick is a lane event: it touches only this actor's state, schedules
+// further events on its own lane (some inside the lookahead window, some
+// beyond it), and sends cross-shard messages only at >= now+L, exactly
+// the discipline the memory controller follows.
+func (a *laneActor) tick() {
+	a.record("tick")
+	if a.left <= 0 {
+		return
+	}
+	a.left--
+	now := a.eng.Now()
+	r := a.next()
+	d := Time(1+r%16) * Nanosecond // short: usually an in-window mini
+	switch {
+	case r%7 == 0:
+		d = a.m.L + Time(r%64)*Nanosecond // always deferred
+	case r%5 == 0:
+		d = a.m.L/2 + Time(r%32)*Nanosecond // straddles the horizon
+	}
+	a.eng.At(now+d, a.tick)
+	if r%3 == 0 {
+		a.eng.AtDaemon(now+Time(1+r%8)*Nanosecond, func() { a.record("daemon") })
+	}
+	if r%4 == 0 && a.globals > 0 {
+		a.globals--
+		a.eng.AtGlobalFunc(now+a.m.L+Time(r%16)*Nanosecond, a.m.globalFn, a)
+	}
+}
+
+// globalFn is a cross-shard completion: it runs on the global lane,
+// mutates shared state, and pokes another lane.
+func (m *shardModel) globalFn(v any) {
+	src := v.(*laneActor)
+	m.counter++
+	m.globalLog = append(m.globalLog, fmt.Sprintf("g@%d from=%d n=%d", m.eng.Now(), src.id, m.counter))
+	tgt := m.lanes[int(m.counter)%len(m.lanes)]
+	tgt.eng.At(m.eng.Now()+Time(1+m.counter%4)*Nanosecond, func() { tgt.record("poke") })
+}
+
+func newShardModel(shards, nLanes int, cfg func(*Engine)) *shardModel {
+	eng := NewEngine()
+	if shards > 0 {
+		eng.SetShards(shards)
+	}
+	m := &shardModel{eng: eng, L: 100 * Nanosecond}
+	eng.SetShardLookahead(m.L)
+	if cfg != nil {
+		cfg(eng)
+	}
+	for i := 0; i < nLanes; i++ {
+		a := &laneActor{m: m, id: i, eng: eng.Lane(i), rng: uint64(1 + i*7919), left: 120, globals: 8}
+		m.lanes = append(m.lanes, a)
+		a.eng.At(Time(1+i)*Nanosecond, a.tick)
+	}
+	return m
+}
+
+type shardOutcome struct {
+	laneLogs  [][]string
+	globalLog []string
+	now       Time
+	pending   int
+	executed  int
+}
+
+func (m *shardModel) outcome(executed int) shardOutcome {
+	o := shardOutcome{globalLog: m.globalLog, now: m.eng.Now(), pending: m.eng.Pending(), executed: executed}
+	for _, a := range m.lanes {
+		o.laneLogs = append(o.laneLogs, a.log)
+	}
+	return o
+}
+
+func diffOutcomes(t *testing.T, label string, want, got shardOutcome) {
+	t.Helper()
+	if want.now != got.now || want.pending != got.pending || want.executed != got.executed {
+		t.Errorf("%s: now/pending/executed = %v/%d/%d, want %v/%d/%d",
+			label, got.now, got.pending, got.executed, want.now, want.pending, want.executed)
+	}
+	for i := range want.laneLogs {
+		a, b := want.laneLogs[i], got.laneLogs[i]
+		if len(a) != len(b) {
+			t.Errorf("%s: lane %d log length %d, want %d", label, i, len(b), len(a))
+			continue
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("%s: lane %d entry %d = %q, want %q", label, i, k, b[k], a[k])
+			}
+		}
+	}
+	if len(want.globalLog) != len(got.globalLog) {
+		t.Fatalf("%s: global log length %d, want %d", label, len(got.globalLog), len(want.globalLog))
+	}
+	for k := range want.globalLog {
+		if want.globalLog[k] != got.globalLog[k] {
+			t.Fatalf("%s: global entry %d = %q, want %q", label, k, got.globalLog[k], want.globalLog[k])
+		}
+	}
+}
+
+func TestShardedRunMatchesSequential(t *testing.T) {
+	seq := newShardModel(0, 6, nil)
+	want := seq.outcome(seq.eng.Run())
+
+	cases := []struct {
+		label  string
+		shards int
+		cfg    func(*Engine)
+	}{
+		{"shards=1", 1, nil},
+		{"shards=2", 2, func(e *Engine) { e.SetShardFanout(2) }},
+		{"shards=4", 4, func(e *Engine) { e.SetShardFanout(2) }},
+		{"shards=4/default-fanout", 4, nil},
+		{"shards=4/budget-denied", 4, func(e *Engine) {
+			e.SetShardFanout(2)
+			e.SetShardBudget(func() bool { return false }, nil)
+		}},
+		{"shards=3/lanes>shards", 3, func(e *Engine) { e.SetShardFanout(2) }},
+	}
+	for _, tc := range cases {
+		m := newShardModel(tc.shards, 6, tc.cfg)
+		got := m.outcome(m.eng.Run())
+		diffOutcomes(t, tc.label, want, got)
+		if tc.shards >= 2 && tc.label != "shards=4/default-fanout" && m.eng.windows == 0 {
+			t.Errorf("%s: no fan-out window ever ran; the test exercised nothing", tc.label)
+		}
+	}
+}
+
+func TestShardedRunUntilMatchesSequential(t *testing.T) {
+	const deadline = 2 * Microsecond
+	seq := newShardModel(0, 4, nil)
+	want := seq.outcome(seq.eng.RunUntil(deadline))
+	// Continuing past the deadline must also agree (tail experiments run
+	// warmup-then-horizon on one engine).
+	want2 := seq.outcome(seq.eng.Run())
+	for _, shards := range []int{2, 4} {
+		m := newShardModel(shards, 4, func(e *Engine) { e.SetShardFanout(2) })
+		got := m.outcome(m.eng.RunUntil(deadline))
+		diffOutcomes(t, fmt.Sprintf("shards=%d", shards), want, got)
+		got2 := m.outcome(m.eng.Run())
+		diffOutcomes(t, fmt.Sprintf("shards=%d/continue", shards), want2, got2)
+	}
+}
+
+func TestShardedAcrossGOMAXPROCS(t *testing.T) {
+	seq := newShardModel(0, 4, nil)
+	want := seq.outcome(seq.eng.Run())
+	for _, procs := range []int{1, 2, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		m := newShardModel(4, 4, func(e *Engine) { e.SetShardFanout(2) })
+		got := m.outcome(m.eng.Run())
+		runtime.GOMAXPROCS(prev)
+		diffOutcomes(t, fmt.Sprintf("GOMAXPROCS=%d", procs), want, got)
+	}
+}
+
+// TestShardedBudgetAcquireRelease pins the worker-budget contract: every
+// acquired slot is released by the end of the run, and no more than
+// shards-1 slots are ever held per engine.
+func TestShardedBudgetAcquireRelease(t *testing.T) {
+	var held, peak, denied atomic.Int64
+	acquire := func() bool {
+		if held.Load() >= 2 { // budget of 2 extra workers
+			denied.Add(1)
+			return false
+		}
+		h := held.Add(1)
+		if p := peak.Load(); h > p {
+			peak.Store(h)
+		}
+		return true
+	}
+	release := func() { held.Add(-1) }
+
+	seq := newShardModel(0, 6, nil)
+	want := seq.outcome(seq.eng.Run())
+	m := newShardModel(4, 6, func(e *Engine) {
+		e.SetShardFanout(2)
+		e.SetShardBudget(acquire, release)
+	})
+	got := m.outcome(m.eng.Run())
+	diffOutcomes(t, "budgeted", want, got)
+	if held.Load() != 0 {
+		t.Errorf("run ended with %d budget slots still held", held.Load())
+	}
+	if peak.Load() > 3 {
+		t.Errorf("held %d slots at peak, want <= shards-1 = 3", peak.Load())
+	}
+}
+
+// TestLookaheadViolationPanics: a lane event scheduling a cross-shard
+// message inside the lookahead window is a modelling bug the engine must
+// refuse, not silently reorder. Workers are budget-denied so every lane
+// runs on the coordinator and the panic is recoverable here.
+func TestLookaheadViolationPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.SetShards(2)
+	eng.SetShardLookahead(100 * Nanosecond)
+	eng.SetShardFanout(2)
+	eng.SetShardBudget(func() bool { return false }, nil)
+	noop := func(any) {}
+	for i := 0; i < 2; i++ {
+		lane := eng.Lane(i)
+		lane.At(Time(1+i)*Nanosecond, func() {
+			lane.AtGlobalFunc(lane.Now()+Nanosecond, noop, nil) // < lookahead: illegal
+		})
+		lane.At(Time(3+i)*Nanosecond, func() {}) // pad the window past the threshold
+	}
+	// Keep a normal event outside the window so the floor rule does not
+	// force the offending events onto the sequential path.
+	eng.At(Microsecond, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a cross-shard schedule inside the lookahead window")
+		}
+	}()
+	eng.Run()
+}
+
+// TestLaneViewSequentialIdentity: with sharding off, Lane returns the
+// engine itself and AtGlobalFunc is AtFunc — model code written against
+// the view API runs unchanged.
+func TestLaneViewSequentialIdentity(t *testing.T) {
+	eng := NewEngine()
+	if eng.Lane(3) != eng {
+		t.Fatal("Lane with sharding off must return the engine itself")
+	}
+	ran := false
+	eng.AtGlobalFunc(Nanosecond, func(any) { ran = true }, nil)
+	eng.Run()
+	if !ran {
+		t.Fatal("AtGlobalFunc event did not run")
+	}
+}
+
+// TestShardedDaemonTail pins the normal-count floor rule: daemon events
+// scheduled past the last ordinary event must not run just because they
+// share a window with it.
+func TestShardedDaemonTail(t *testing.T) {
+	run := func(shards int) (int, int) {
+		eng := NewEngine()
+		if shards > 0 {
+			eng.SetShards(shards)
+			eng.SetShardFanout(2)
+		}
+		eng.SetShardLookahead(Microsecond)
+		var daemons [4]int // per-actor slots: lane events only touch their own
+		for i := 0; i < 4; i++ {
+			i := i
+			lane := eng.Lane(i)
+			var chain func()
+			left := 10
+			chain = func() {
+				if left == 0 {
+					return
+				}
+				left--
+				lane.After(Nanosecond, chain)
+				lane.AfterDaemon(2*Nanosecond, func() { daemons[i]++ })
+			}
+			lane.At(Time(i)*Nanosecond, chain)
+		}
+		n := eng.Run()
+		return n, daemons[0] + daemons[1] + daemons[2] + daemons[3]
+	}
+	wantN, wantD := run(0)
+	for _, shards := range []int{2, 4} {
+		gotN, gotD := run(shards)
+		if gotN != wantN || gotD != wantD {
+			t.Errorf("shards=%d: executed/daemons = %d/%d, want %d/%d", shards, gotN, gotD, wantN, wantD)
+		}
+	}
+}

@@ -37,7 +37,22 @@ gate="${BENCH_GATE:-Engine|MCSubmit|Dispatcher}"
 tol="${BENCH_TOLERANCE_PCT:-20}"
 strict="${BENCH_STRICT:-0}"
 
-echo "==> bench_compare: $old -> $new (gate: $gate, tolerance: ${tol}%)"
+# Snapshots taken at different engine shard counts measure different
+# execution modes — comparing them reads as a perf change that is really
+# a configuration change. Refuse outright. Snapshots predating the field
+# count as sequential (0).
+shards_of() {
+    grep -o '"engine_shards": *[0-9][0-9]*' "$1" 2>/dev/null | head -1 | grep -o '[0-9][0-9]*$' || echo 0
+}
+old_shards=$(shards_of "$old")
+new_shards=$(shards_of "$new")
+if [ "$old_shards" != "$new_shards" ]; then
+    echo "bench_compare: FATAL: engine_shards mismatch: $old has $old_shards, $new has $new_shards" >&2
+    echo "bench_compare: re-run scripts/bench.sh with matching BENCH_SHARDS before comparing" >&2
+    exit 1
+fi
+
+echo "==> bench_compare: $old -> $new (gate: $gate, tolerance: ${tol}%, engine_shards: $new_shards)"
 
 awk -v gate="$gate" -v tol="$tol" -v strict="$strict" '
 # Snapshot lines look like:

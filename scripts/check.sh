@@ -27,6 +27,13 @@ GREENDIMM_QUICK=1 go test -race ./internal/sweep/
 GREENDIMM_QUICK=1 go test -race -run 'Sweep|Parallel|Determinism' \
     ./internal/exp/ ./internal/server/
 
+echo "==> go test -race (sharded engine: shards)"
+# The channel-sharded engine is the only place simulation state crosses
+# goroutines; its determinism harness (synthetic lanes in internal/sim,
+# real experiments in internal/exp) must always run under the detector.
+go test -race -run 'Sharded|TieBreak|ShardBudget|LaneView|LookaheadViolation' ./internal/sim/
+GREENDIMM_QUICK=1 go test -race -run 'Sharded|ShardBudget' ./internal/exp/
+
 echo "==> go test -race ./internal/cluster/ (fault injection)"
 # The cluster dispatcher's retry/hedge/failover machinery is goroutine
 # heavy; its fault-injection suite must always run under the detector.
