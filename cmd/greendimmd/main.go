@@ -13,6 +13,13 @@
 // queue rejects are proxied to a healthy peer daemon (internal/cluster)
 // instead of bouncing back as 429, and the proxied jobs stay pollable
 // and cancelable through this daemon under coordinator-local ids.
+//
+// With -store-dir, jobs are durable: accepted specs and their completed
+// sweep cells journal to a write-ahead log, a killed daemon re-enqueues
+// interrupted jobs at the next start, and they resume from the cells
+// already done. With -shard-cells N (and -peers), matrix experiments fan
+// out across the peers as cell-range shards of ~N sweep cells each,
+// merged locally to the byte-identical single-node report.
 package main
 
 import (
@@ -48,10 +55,12 @@ func main() {
 		peers      = flag.String("peers", "", "comma-separated peer greendimmd base URLs; queue-full submissions are proxied to a healthy peer instead of returning 429")
 		peerProbe  = flag.Duration("peer-probe", 2*time.Second, "peer /healthz probe period (with -peers)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
+		storeDir   = flag.String("store-dir", "", "durable job store directory: accepted jobs and their completed sweep cells are journaled, jobs interrupted by a crash resume from completed work at the next start; empty keeps the daemon in-memory")
+		shardCells = flag.Int("shard-cells", 0, "fan matrix experiments out across -peers as cell-range shards of about this many sweep cells each (0 disables; requires -peers)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
@@ -59,18 +68,53 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxJobRecords:  *maxRecords,
 		CPUBudget:      *cpuBudget,
-	})
-	handler := srv.Handler()
+		StoreDir:       *storeDir,
+	}
+
+	// The peer pool is built before the server so the shard runner can be
+	// installed as the server's executor.
+	var pool *cluster.Pool
+	var urls []string
 	if *peers != "" {
-		var urls []string
 		for _, u := range strings.Split(*peers, ",") {
 			if u = strings.TrimSpace(u); u != "" {
 				urls = append(urls, u)
 			}
 		}
-		pool := cluster.NewPool(urls, cluster.PoolConfig{ProbePeriod: *peerProbe})
+		pool = cluster.NewPool(urls, cluster.PoolConfig{ProbePeriod: *peerProbe})
 		pool.Start()
 		defer pool.Stop()
+	}
+	if *shardCells > 0 {
+		if pool == nil {
+			log.Printf("-shard-cells %d ignored: no -peers to shard across", *shardCells)
+		} else {
+			// Shards dispatch through the failover ladder; whole jobs and
+			// the shard merge run through the config's own runner (shared
+			// limiter + memo), so local work stays inside one CPU budget.
+			exec := cfg.BaseRunner()
+			d := cluster.NewDispatcher(pool, cluster.Options{})
+			sr, err := cluster.NewShardRunner(d, cluster.ShardOptions{
+				CellsPerShard: *shardCells,
+				Exec:          exec,
+			})
+			if err != nil {
+				log.Fatalf("shard runner: %v", err)
+			}
+			cfg.Runner = sr.Run
+			log.Printf("sharding matrix experiments across %d peers (%d cells per shard)", len(urls), *shardCells)
+		}
+	}
+
+	srv, err := server.Open(cfg)
+	if err != nil {
+		log.Fatalf("starting server: %v", err)
+	}
+	if *storeDir != "" {
+		log.Printf("durable job store at %s", *storeDir)
+	}
+	handler := srv.Handler()
+	if pool != nil {
 		handler = cluster.NewCoordinator(srv, pool, nil).Handler()
 		log.Printf("coordinating queue overflow across %d peers", len(urls))
 	}

@@ -26,12 +26,17 @@ func (e *DivergenceError) Error() string {
 }
 
 // fingerprint returns the canonical content hash of a result's report
-// bytes: tables, series, VM-day payload and rendered text. WallSeconds
-// is execution accounting, not report content — it legitimately differs
-// between two runs of the same spec — so it is zeroed before hashing.
+// bytes: tables, series, VM-day payload, cell artifacts and rendered
+// text. WallSeconds and SimSeconds are execution accounting, not report
+// content — wall time legitimately differs between two runs of the same
+// spec, and simulated time shrinks on a peer that replayed memoized or
+// journaled cells instead of simulating them (the cells' bytes are
+// identical either way, which is the invariant that matters) — so both
+// are zeroed before hashing.
 func fingerprint(res *server.Result) (string, error) {
 	cp := *res
 	cp.WallSeconds = 0
+	cp.SimSeconds = 0
 	b, err := json.Marshal(&cp)
 	if err != nil {
 		return "", fmt.Errorf("cluster: fingerprinting result: %w", err)

@@ -60,8 +60,14 @@ func TestDispatcherRunTracedSpans(t *testing.T) {
 		if names["merge"] != 1 {
 			t.Errorf("trace %d: merge spans = %d, want exactly 1 (%v)", i, names["merge"], names)
 		}
-		if names["attempt"] < 1 && names["local"] < 1 {
-			t.Errorf("trace %d: no attempt or local span (%v)", i, names)
+		// A winning execution publishes its span before the dispatch
+		// returns; losers publish asynchronously (finishAttempt's
+		// forwarding goroutine) and may land after this read. So a job
+		// whose hedge won can legitimately show only its "hedge" span
+		// here — any of the three proves the job actually executed
+		// somewhere.
+		if names["attempt"] < 1 && names["local"] < 1 && names["hedge"] < 1 {
+			t.Errorf("trace %d: no attempt, hedge or local span (%v)", i, names)
 		}
 	}
 	// The topology forces each failure mode at least once somewhere.

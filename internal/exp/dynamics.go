@@ -136,6 +136,10 @@ func runDynamics(cfg dynamicsConfig) (DynamicsRun, error) {
 	warm := daemon.Stats()
 	eng.RunUntil(cfg.duration)
 	daemon.Stop()
+	// See runTiming: interruption is an error, not a result.
+	if eng.Interrupted() {
+		return DynamicsRun{}, ErrInterrupted
+	}
 
 	ds := daemon.Stats()
 	hs := hp.Stats()

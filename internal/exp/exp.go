@@ -19,6 +19,7 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -58,6 +59,34 @@ type Options struct {
 	// any parallelism (TestMemoDeterminism pins this). Excluded from
 	// serialized job specs like the other execution knobs.
 	Memo *sweep.Memo `json:"-"`
+
+	// CellRange, when non-nil, restricts the experiment's single
+	// top-level sweep to cells [Lo, Hi): the sweep runs only that slice
+	// (mapping slice indices back to true cell indices, so seeds and
+	// memo keys are unchanged) and then returns *RangeDone instead of
+	// nil, aborting the experiment before rendering — output slots
+	// outside the range are zero and must not be read. The empty range
+	// [0, 0) is a count probe: no cell runs at all. Only Shardable
+	// experiments support it. Unlike the knobs above, a range changes
+	// the result (artifacts, not a report), so the serialized job spec
+	// carries it separately (server.JobSpec.Cells).
+	CellRange *CellRange `json:"-"`
+
+	// CellSource, when non-nil, replays previously completed cells:
+	// every memoized cell whose fingerprint key is present decodes from
+	// the set instead of simulating. Replay is verified (strict decode +
+	// re-marshal must reproduce the stored bytes); failures fall through
+	// to recomputation, so a source can only change execution time,
+	// never bytes. Pure execution knob.
+	CellSource *CellSet `json:"-"`
+
+	// CellSink, when non-nil, receives one CellArtifact per memoized
+	// cell the run resolves — computed or served from Memo, but not
+	// replayed from CellSource (those are already journaled). Called
+	// from concurrent sweep cells when Parallelism != 1, so it must be
+	// safe for concurrent use. Pure observation: it must not influence
+	// results.
+	CellSink func(CellArtifact) `json:"-"`
 }
 
 // Hooks lets a caller — the greendimmd daemon, a test harness — observe
@@ -171,6 +200,9 @@ func (o Options) parallelism() int {
 // slices. Rendering happens after sweepCells returns. Under those rules
 // the output is byte-identical at every parallelism level.
 func (o Options) sweepCells(n int, cell func(i int, h Hooks) error) error {
+	if r := o.CellRange; r != nil {
+		return o.sweepRange(n, *r, cell)
+	}
 	h := o.Hooks
 	if h.Observe != nil {
 		var mu sync.Mutex
@@ -214,10 +246,35 @@ func (o Options) sweepCells(n int, cell func(i int, h Hooks) error) error {
 	}, run)
 }
 
+// sweepRange runs the [r.Lo, r.Hi) slice of an n-cell sweep through the
+// normal sweepCells machinery (parallelism, limiter, stop and progress
+// all apply to the slice), then returns *RangeDone so the experiment
+// body aborts before rendering. The empty probe range runs nothing.
+func (o Options) sweepRange(n int, r CellRange, cell func(i int, h Hooks) error) error {
+	if r.Lo == 0 && r.Hi == 0 {
+		return &RangeDone{Total: n}
+	}
+	if r.Lo < 0 || r.Hi > n || r.Lo >= r.Hi {
+		return fmt.Errorf("exp: cell range [%d,%d) invalid for a sweep of %d cells", r.Lo, r.Hi, n)
+	}
+	sub := o
+	sub.CellRange = nil
+	err := sub.sweepCells(r.Hi-r.Lo, func(j int, h Hooks) error {
+		return cell(r.Lo+j, h)
+	})
+	if err != nil {
+		return err
+	}
+	return &RangeDone{Total: n}
+}
+
 // cellOptions returns o with the per-cell hooks substituted, for cells
-// whose body calls helpers that take Options.
+// whose body calls helpers that take Options. The range is cleared: it
+// belongs to the top-level sweep, and a cell's own helpers must run
+// whole.
 func (o Options) cellOptions(h Hooks) Options {
 	o.Hooks = h
+	o.CellRange = nil
 	return o
 }
 

@@ -62,7 +62,7 @@ func RunBlockSizeSweep(opts Options) (BlockSizeResult, error) {
 		prof, blockMB := apps[i/len(sizes)], sizes[i%len(sizes)]
 		cfg := blockDynDefaults(prof, blockMB, opts)
 		cfg.hooks = h
-		run, err := memoDynamics(opts.Memo, cfg)
+		run, err := memoDynamics(opts, cfg)
 		if err != nil {
 			return fmt.Errorf("%s/%dMB: %w", prof.Name, blockMB, err)
 		}
@@ -171,7 +171,7 @@ func RunTable3(opts Options) (Table3Result, error) {
 			cfg.failProb = 0.9
 			cfg.leakEvery = 3
 		}
-		run, err := memoDynamics(opts.Memo, cfg)
+		run, err := memoDynamics(opts, cfg)
 		if err != nil {
 			return err
 		}
@@ -232,7 +232,7 @@ func RunFig8(opts Options) (Fig8Result, error) {
 		cfg.policy = policies[i%len(policies)]
 		cfg.failProb = 0.9
 		cfg.leakEvery = 3
-		run, err := memoDynamics(opts.Memo, cfg)
+		run, err := memoDynamics(opts, cfg)
 		if err != nil {
 			return err
 		}

@@ -88,7 +88,7 @@ func energyRow(model *power.Model, sys power.SystemModel, prof workload.Profile,
 	if dynProf.FootprintMB > 48<<10 {
 		dynProf.FootprintMB = 48 << 10
 	}
-	dyn, err := memoDynamics(opts.Memo, dynamicsConfig{
+	dyn, err := memoDynamics(opts, dynamicsConfig{
 		prof:     dynProf,
 		blockMB:  1024,
 		duration: 120 * sim.Second, // cheap: no request-level simulation
@@ -102,7 +102,7 @@ func energyRow(model *power.Model, sys power.SystemModel, prof workload.Profile,
 	row.OverheadPct = dyn.OverheadFrac * 100
 
 	for _, intlv := range []bool{true, false} {
-		run, err := memoTiming(opts.Memo, timingConfig{
+		run, err := memoTiming(opts, timingConfig{
 			prof:        prof,
 			interleaved: intlv,
 			copies:      copiesFor(prof),

@@ -38,7 +38,7 @@ func RunFig2(opts Options) (Fig2Result, error) {
 	if !ok {
 		return Fig2Result{}, fmt.Errorf("exp: mcf profile missing")
 	}
-	run, err := memoTiming(opts.Memo, timingConfig{
+	run, err := memoTiming(opts, timingConfig{
 		prof:        prof,
 		interleaved: true,
 		copies:      8, // the multiprogrammed stressor
@@ -136,7 +136,7 @@ func RunFig3(opts Options) (Fig3Result, error) {
 		var runs [2]TimingRun
 		for j, intlv := range []bool{true, false} {
 			var err error
-			runs[j], err = memoTiming(opts.Memo, timingConfig{
+			runs[j], err = memoTiming(opts, timingConfig{
 				prof:        prof,
 				interleaved: intlv,
 				copies:      copiesFor(prof),

@@ -48,7 +48,7 @@ func RunTailLatency(opts Options) (TailResult, error) {
 	cells := make([]tailCell, 2*len(profs))
 	err := opts.sweepCells(len(cells), func(i int, h Hooks) error {
 		prof, withDaemon := profs[i/2], i%2 == 1
-		cell, err := memoTailService(opts.Memo, prof, withDaemon, opts.cellOptions(h))
+		cell, err := memoTailService(opts.cellOptions(h), prof, withDaemon)
 		if err != nil {
 			mode := "base"
 			if withDaemon {
@@ -67,11 +67,11 @@ func RunTailLatency(opts Options) (TailResult, error) {
 		base, gd := cells[2*i], cells[2*i+1]
 		res.Rows = append(res.Rows, TailRow{
 			App:          prof.Name,
-			BaseP95us:    base.stats.Percentile95,
-			BaseP99us:    base.stats.Percentile99,
-			GDP95us:      gd.stats.Percentile95,
-			GDP99us:      gd.stats.Percentile99,
-			DaemonEvents: gd.events,
+			BaseP95us:    base.Stats.Percentile95,
+			BaseP99us:    base.Stats.Percentile99,
+			GDP95us:      gd.Stats.Percentile95,
+			GDP99us:      gd.Stats.Percentile99,
+			DaemonEvents: gd.Events,
 		})
 	}
 	return res, nil
@@ -160,6 +160,10 @@ func runService(prof workload.Profile, withDaemon bool, opts Options) (tailStats
 	}
 	eng.RunUntil(horizon)
 	ctrl.Finalize()
+	// See runTiming: interruption is an error, not a result.
+	if eng.Interrupted() {
+		return tailStats{}, 0, ErrInterrupted
+	}
 
 	if svc.Latency().N() == 0 {
 		return tailStats{}, 0, fmt.Errorf("exp: no latency samples for %s", prof.Name)

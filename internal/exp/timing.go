@@ -86,6 +86,13 @@ func runTiming(cfg timingConfig) (TimingRun, error) {
 		c.Start()
 	}
 	eng.Run()
+	// An interrupted run must surface as an error, never as partial
+	// stats: a partial cell that escaped with err == nil would poison
+	// the shared memo and the durable job journal with wrong-but-
+	// plausible bytes.
+	if eng.Interrupted() {
+		return TimingRun{}, ErrInterrupted
+	}
 	if remaining != 0 {
 		return TimingRun{}, fmt.Errorf("exp: %d copies of %s unfinished", remaining, prof.Name)
 	}

@@ -64,7 +64,7 @@ func runVMDayPair(opts Options, mk func(withKSM bool) vmDayConfig) ([2]VMDayResu
 	err := opts.sweepCells(2, func(i int, h Hooks) error {
 		cfg := mk(i == 1)
 		cfg.hooks = h
-		day, err := memoVMDay(opts.Memo, cfg)
+		day, err := memoVMDay(opts, cfg)
 		if err != nil {
 			return err
 		}

@@ -133,8 +133,12 @@ func parseListQuery(r *http.Request) (ListQuery, error) {
 		switch s := JobState(st); s {
 		case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCanceled:
 			q.Status = s
+		case "recovered":
+			// Not a lifecycle state: selects jobs (any state) that the
+			// daemon re-enqueued from its durable store after a restart.
+			q.Recovered = true
 		default:
-			return q, fmt.Errorf("unknown status %q", st)
+			return q, fmt.Errorf("unknown status %q (states, or \"recovered\" for jobs resumed after a restart)", st)
 		}
 	}
 	for name, dst := range map[string]*int{"limit": &q.Limit, "offset": &q.Offset} {

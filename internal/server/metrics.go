@@ -47,6 +47,22 @@ func (s *Server) renderMetrics() string {
 		metrics.V(float64(st.cellsDoneRunning)))
 	e.Add("greendimm_cells_running_total", "gauge", "Sweep cells planned across currently running jobs.",
 		metrics.V(float64(st.cellsTotalRunning)))
+	e.Add("greendimm_jobs_recovered_total", "counter", "Jobs re-enqueued from the durable store at boot.",
+		metrics.V(float64(st.recovered)))
+	e.Add("greendimm_cells_resumed_total", "counter", "Journaled sweep cells replayed instead of re-simulated (succeeded jobs).",
+		metrics.V(float64(st.resumedCells)))
+	if st.store != nil {
+		e.Add("greendimm_store_specs", "gauge", "Job records retained in the durable store.",
+			metrics.V(float64(st.store.Specs)))
+		e.Add("greendimm_store_cells", "gauge", "Cell artifacts retained in the durable store.",
+			metrics.V(float64(st.store.Cells)))
+		e.Add("greendimm_store_wal_records_total", "counter", "WAL records appended by this process.",
+			metrics.V(float64(st.store.Appends)))
+		e.Add("greendimm_store_snapshots_total", "counter", "WAL compactions into a snapshot.",
+			metrics.V(float64(st.store.Snapshots)))
+		e.Add("greendimm_store_errors_total", "counter", "Failed journal writes (jobs lose durability, not correctness).",
+			metrics.V(float64(st.storeErrs)))
+	}
 	e.AddHistogram("greendimm_job_wall_seconds", "Wall-clock execution time per job (all outcomes, cache hits excluded).",
 		s.histWall)
 	e.AddHistogram("greendimm_job_queue_wait_seconds", "Time from submission to execution start.",

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -19,6 +21,13 @@ type Result struct {
 	Tables []*report.Table  `json:"tables,omitempty"`
 	Series []report.Series  `json:"series,omitempty"`
 	VMDay  *exp.VMDayResult `json:"vmday,omitempty"`
+	// Cells holds the completed cell artifacts of a range job (a spec
+	// with Cells set), sorted by key. Range jobs return ONLY artifacts:
+	// Tables/Series/Text are empty and SimSeconds is zero, so the result
+	// bytes are a pure function of the spec — a peer serving the range
+	// from a warm memo and a peer simulating it from cold agree exactly,
+	// which the cluster's divergence cross-check requires.
+	Cells []exp.CellArtifact `json:"cells,omitempty"`
 	// Text is the human-readable rendering of Tables and Series — what
 	// `greendimm -experiment <id>` prints for the same spec.
 	Text string `json:"text"`
@@ -46,6 +55,38 @@ type RunHooks struct {
 	// Progress, when non-nil, is called after each sweep cell completes
 	// (serialized; see exp.Hooks.Progress).
 	Progress func(done, total int, cellSeconds float64)
+	// Cells, when non-nil, replays previously completed cell artifacts:
+	// memoized cells found in the set (verified byte-exact) are served
+	// without simulating. Execution knob — replay can only change how
+	// long a run takes, never its bytes. The daemon fills it from the
+	// job store on recovery/resume; the cluster merge fills it with the
+	// shards' collected artifacts.
+	Cells *exp.CellSet
+	// CellObserved, when non-nil, receives every cell artifact the run
+	// resolves by computing or by memo hit (replays from Cells are not
+	// re-offered). Called from concurrent sweep cells — must be safe for
+	// concurrent use. The daemon journals these to the job store.
+	CellObserved func(exp.CellArtifact)
+	// Ranges carries the shard-execution transport between the daemon
+	// and the cluster's shard runner. runSpec itself ignores it: range
+	// state is journal bookkeeping, not simulation input.
+	Ranges *RangeLog
+}
+
+// RangeLog is the shard runner's view of a job's durable range state:
+// which cell ranges are already complete (skip them), and where to
+// journal the plan and each completed range. All fields optional.
+type RangeLog struct {
+	// Done lists completed [lo,hi) ranges from a previous run of the
+	// same spec; the shard planner executes only the complement.
+	Done [][2]int
+	// OnPlan is called once with the sweep's total cell count and the
+	// planned shard ranges, before any shard executes.
+	OnPlan func(total int, ranges [][2]int)
+	// OnDone is called as each range's cells finish, after every cell in
+	// [lo,hi) has been offered to CellObserved — the ordering the store
+	// relies on to trust a done range.
+	OnDone func(lo, hi int)
 }
 
 // stop returns the effective stop predicate, never nil.
@@ -105,15 +146,56 @@ func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter, memo *sweep.Memo)
 		if fn == nil {
 			return nil, fmt.Errorf("unknown experiment %q", spec.Experiment.ID)
 		}
-		tables, series, err := fn(exp.Options{
+		opts := exp.Options{
 			Quick:       spec.Experiment.Quick,
 			Seed:        spec.Experiment.Seed,
 			Parallelism: parallelism,
 			Hooks:       hooks,
 			Memo:        memo,
-		})
+			CellSource:  h.Cells,
+		}
+		// Collect artifacts when anyone wants them: a range job returns
+		// them as its result; a full job with CellObserved journals them.
+		var cellMu sync.Mutex
+		var collected []exp.CellArtifact
+		isRange := spec.Cells != nil
+		if isRange || h.CellObserved != nil {
+			observe := h.CellObserved
+			opts.CellSink = func(a exp.CellArtifact) {
+				a = a.Compact()
+				if observe != nil {
+					observe(a)
+				}
+				if isRange {
+					cellMu.Lock()
+					collected = append(collected, a)
+					cellMu.Unlock()
+				}
+			}
+		}
+		if isRange {
+			opts.CellRange = &exp.CellRange{Lo: spec.Cells.Lo, Hi: spec.Cells.Hi}
+		}
+		tables, series, err := fn(opts)
+		var rd *exp.RangeDone
+		if errors.As(err, &rd) {
+			if !isRange {
+				return nil, fmt.Errorf("experiment %q returned a range sentinel without a range", spec.Experiment.ID)
+			}
+			cells, err := sortCells(collected)
+			if err != nil {
+				return nil, err
+			}
+			// SimSeconds deliberately stays zero: a warm-memo peer
+			// simulates less for the same range, and the artifact set —
+			// not execution accounting — is the deterministic payload.
+			return &Result{Cells: cells}, nil
+		}
 		if err != nil {
 			return nil, err
+		}
+		if isRange {
+			return nil, fmt.Errorf("experiment %q ignored the cell range", spec.Experiment.ID)
 		}
 		res.Tables, res.Series = tables, series
 	case KindVMServer:
@@ -132,6 +214,44 @@ func runSpec(spec JobSpec, h RunHooks, limiter *sweep.Limiter, memo *sweep.Memo)
 	}
 	res.Text = renderText(res.Tables, res.Series)
 	return res, nil
+}
+
+// sortCells canonicalizes a range run's collected artifacts: sorted by
+// key, duplicates collapsed. Two artifacts under one key must carry the
+// same bytes (cells are pure functions of their keys); disagreement
+// means the determinism invariant broke, which must surface, not be
+// papered over by picking a winner.
+func sortCells(cells []exp.CellArtifact) ([]exp.CellArtifact, error) {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Key < cells[j].Key })
+	out := cells[:0]
+	for _, c := range cells {
+		if n := len(out); n > 0 && out[n-1].Key == c.Key {
+			if string(out[n-1].Value) != string(c.Value) {
+				return nil, fmt.Errorf("cell %q produced two different values in one run", c.Key)
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// CellCount reports how many sweep cells the spec's experiment runs,
+// without simulating any (an empty probe range). The spec must be an
+// experiment job; its own Cells field is ignored — the count describes
+// the full sweep.
+func CellCount(spec JobSpec) (int, error) {
+	norm, err := spec.normalized()
+	if err != nil {
+		return 0, &InvalidSpecError{Err: err}
+	}
+	if norm.Kind != KindExperiment {
+		return 0, fmt.Errorf("kind %q has no cell sweep", norm.Kind)
+	}
+	return exp.CellCount(norm.Experiment.ID, exp.Options{
+		Quick: norm.Experiment.Quick,
+		Seed:  norm.Experiment.Seed,
+	})
 }
 
 // renderText reproduces the CLI's per-experiment output: each table, then

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -11,8 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"greendimm/internal/exp"
 	"greendimm/internal/metrics"
 	"greendimm/internal/obs"
+	"greendimm/internal/store"
 	"greendimm/internal/sweep"
 )
 
@@ -91,9 +94,26 @@ type Config struct {
 	// obs.DefaultCapacity). Spans beyond it are counted as dropped, not
 	// stored.
 	TraceCapacity int
+
+	// StoreDir, when non-empty, enables the durable job store
+	// (internal/store) in that directory: accepted jobs, their completed
+	// sweep-cell artifacts and shard ranges are journaled, jobs left
+	// non-terminal by a crash are re-enqueued at the next Open, and a
+	// resubmitted identical spec resumes from its journaled cells.
+	// Empty keeps the server fully in-memory (the previous behavior).
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
+	c = c.filled()
+	if c.Runner == nil {
+		c.Runner = c.baseRunner()
+	}
+	return c
+}
+
+// filled resolves every numeric default, leaving Runner untouched.
+func (c Config) filled() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -121,21 +141,32 @@ func (c Config) withDefaults() Config {
 	if c.MemoEntries == 0 {
 		c.MemoEntries = 512
 	}
-	if c.Runner == nil {
-		// Extra sweep workers (beyond each job's own pool worker) draw
-		// from the budget left over after the worker pool is staffed.
-		limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
-		// One memo across all jobs: distinct specs still share their
-		// common baseline cells (result-neutral; see exp.Options.Memo).
-		var memo *sweep.Memo
-		if c.MemoEntries > 0 {
-			memo = sweep.NewMemo(c.MemoEntries)
-		}
-		c.Runner = func(spec JobSpec, h RunHooks) (*Result, error) {
-			return runSpec(spec, h, limiter, memo)
-		}
-	}
 	return c
+}
+
+// baseRunner builds the in-process execution function: runSpec under a
+// fresh sweep limiter and memo sized from c. Call on a filled config.
+func (c Config) baseRunner() func(JobSpec, RunHooks) (*Result, error) {
+	// Extra sweep workers (beyond each job's own pool worker) draw
+	// from the budget left over after the worker pool is staffed.
+	limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
+	// One memo across all jobs: distinct specs still share their
+	// common baseline cells (result-neutral; see exp.Options.Memo).
+	var memo *sweep.Memo
+	if c.MemoEntries > 0 {
+		memo = sweep.NewMemo(c.MemoEntries)
+	}
+	return func(spec JobSpec, h RunHooks) (*Result, error) {
+		return runSpec(spec, h, limiter, memo)
+	}
+}
+
+// BaseRunner returns the execution function this config would install
+// when Runner is nil — for callers (cmd/greendimmd) that compose a
+// wrapper, e.g. the cluster's shard runner, around the real simulator
+// while keeping the config's limiter/memo sizing.
+func (c Config) BaseRunner() func(JobSpec, RunHooks) (*Result, error) {
+	return c.filled().baseRunner()
 }
 
 // job is the internal record; jobView snapshots it for clients.
@@ -157,6 +188,12 @@ type job struct {
 	// readers hold mu but the writer must not.
 	cellsDone  atomic.Int64
 	cellsTotal atomic.Int64
+
+	// recovered marks a job re-enqueued from the durable store at boot;
+	// resumedCells counts journaled artifacts handed to its run as a
+	// replay source (atomic: written by runJob outside mu).
+	recovered    bool
+	resumedCells atomic.Int64
 
 	cancelRequested bool
 	cancel          context.CancelFunc // set while running
@@ -186,8 +223,13 @@ type JobView struct {
 	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
 	Progress    *ProgressView `json:"progress,omitempty"`
 	QueueWaitMS float64       `json:"queue_wait_ms,omitempty"`
-	Spec        JobSpec       `json:"spec"`
-	Result      *Result       `json:"result,omitempty"`
+	// Recovered marks a job the daemon re-enqueued from its durable
+	// store after a restart; ResumedCells counts the journaled sweep
+	// cells its execution replayed instead of re-simulating.
+	Recovered    bool    `json:"recovered,omitempty"`
+	ResumedCells int     `json:"resumed_cells,omitempty"`
+	Spec         JobSpec `json:"spec"`
+	Result       *Result `json:"result,omitempty"`
 }
 
 // counters aggregates service activity for /metrics. Guarded by Server.mu.
@@ -202,6 +244,8 @@ type counters struct {
 	cacheHits        int64
 	cacheMisses      int64
 	simSecondsSum    float64 // over succeeded jobs
+	recovered        int64   // jobs re-enqueued from the store at boot
+	resumedCells     int64   // journaled cells replayed across all runs
 }
 
 type cacheEntry struct {
@@ -236,30 +280,113 @@ type Server struct {
 	histQueue *metrics.Histogram // queue wait, submit → execution start
 	histCell  *metrics.Histogram // individual sweep-cell wall time
 
+	// store is the durable job journal (nil without Config.StoreDir).
+	// It has its own lock; journaling failures never fail a job — they
+	// only bump storeErrs (the job loses durability, not correctness).
+	store     *store.Store
+	storeErrs atomic.Int64
+
 	wg sync.WaitGroup
 }
 
 // New starts a server with cfg's worker pool. Call Shutdown to stop it.
+// It panics if cfg.StoreDir is set and the store cannot open; servers
+// that want the error use Open.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts a server with cfg's worker pool. When cfg.StoreDir is
+// set, it opens (recovering if needed) the durable job store and
+// re-enqueues every job a previous process left non-terminal, marked
+// Recovered, before the first worker starts. Call Shutdown to stop.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var st *store.Store
+	var pending []store.Record
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening job store: %w", err)
+		}
+		pending = st.Pending()
+	}
+	// The queue must absorb every recovered job without blocking boot.
+	qcap := cfg.QueueDepth
+	if len(pending) > qcap {
+		qcap = len(pending)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*job),
-		queue:     make(chan *job, cfg.QueueDepth),
+		queue:     make(chan *job, qcap),
 		cache:     make(map[string]*list.Element),
 		lru:       list.New(),
 		histWall:  metrics.NewLogHistogram(0.001, 3600, 3),
 		histQueue: metrics.NewLogHistogram(0.001, 3600, 3),
 		histCell:  metrics.NewLogHistogram(0.001, 3600, 3),
+		store:     st,
+	}
+	for _, rec := range pending {
+		s.recoverJob(rec)
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// recoverJob re-enqueues one journaled non-terminal record at boot
+// (workers are not running yet, so no lock ordering issues). A record
+// whose spec no longer validates or hashes differently — schema drift
+// across versions — is closed out as failed rather than run wrong.
+func (s *Server) recoverJob(rec store.Record) {
+	fail := func(msg string) {
+		if err := s.store.Finish(rec.Hash, store.StateFailed, msg); err != nil {
+			s.storeErrs.Add(1)
+		}
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+		fail("recovery: unreadable journaled spec: " + err.Error())
+		return
+	}
+	norm, err := spec.normalized()
+	if err != nil {
+		fail("recovery: journaled spec no longer valid: " + err.Error())
+		return
+	}
+	hash, err := norm.hash()
+	if err != nil || hash != rec.Hash {
+		fail("recovery: journaled spec no longer hashes to its record")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		hash:      hash,
+		spec:      norm,
+		state:     StateQueued,
+		submitted: time.Now(),
+		recovered: true,
+		trace:     obs.NewTrace(s.cfg.TraceCapacity),
+		done:      make(chan struct{}),
+	}
+	j.trace.Mark("recovered", fmt.Sprintf("journaled_cells=%d", rec.CellCount))
+	s.queue <- j // capacity sized for every pending record above
+	s.ctr.recovered++
+	s.record(j)
 }
 
 // Submit validates, cache-checks and enqueues one job. It returns the
@@ -320,6 +447,16 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.ctr.submitted++
 	s.ctr.cacheMisses++
 	s.record(j)
+	if s.store != nil {
+		// Journal the full normalized spec (knobs included) so a crashed
+		// daemon re-runs the job exactly as submitted. A re-accepted hash
+		// keeps its journaled cells: resubmission resumes.
+		if b, err := json.Marshal(norm); err == nil {
+			if err := s.store.Accept(hash, b); err != nil {
+				s.storeErrs.Add(1)
+			}
+		}
+	}
 	return s.view(j, false), nil
 }
 
@@ -388,8 +525,7 @@ func (s *Server) runJob(j *job) {
 	// poll: deadline, client cancel and shutdown-force all flow through
 	// this one context. Trace and Progress write through lock-free /
 	// atomic paths, so the running job never touches s.mu.
-	sp := j.trace.Start("execute")
-	res, err := runner(spec, RunHooks{
+	h := RunHooks{
 		Stop:  func() bool { return ctx.Err() != nil },
 		Trace: j.trace,
 		Progress: func(done, total int, cellSeconds float64) {
@@ -397,7 +533,44 @@ func (s *Server) runJob(j *job) {
 			j.cellsTotal.Store(int64(total))
 			s.histCell.Observe(cellSeconds)
 		},
-	})
+	}
+	if s.store != nil {
+		// Resume state: journaled cells replay instead of re-simulating
+		// (verified byte-exact in exp), completed ranges steer the shard
+		// planner past finished work, and fresh cells/ranges journal as
+		// they land. The store serializes its own writes; CellObserved
+		// arrives from concurrent sweep cells.
+		hash := j.hash
+		cells, doneRanges := s.store.Resume(hash)
+		if len(cells) > 0 {
+			arts := make([]exp.CellArtifact, len(cells))
+			for i, c := range cells {
+				arts[i] = exp.CellArtifact{Key: c.Key, Value: c.Value}
+			}
+			h.Cells = exp.NewCellSet(arts)
+			j.resumedCells.Store(int64(len(cells)))
+		}
+		h.CellObserved = func(a exp.CellArtifact) {
+			if err := s.store.PutCell(hash, a.Key, a.Value); err != nil {
+				s.storeErrs.Add(1)
+			}
+		}
+		h.Ranges = &RangeLog{
+			Done: doneRanges,
+			OnPlan: func(total int, ranges [][2]int) {
+				if err := s.store.Plan(hash, total, ranges); err != nil {
+					s.storeErrs.Add(1)
+				}
+			},
+			OnDone: func(lo, hi int) {
+				if err := s.store.RangeDone(hash, lo, hi); err != nil {
+					s.storeErrs.Add(1)
+				}
+			},
+		}
+	}
+	sp := j.trace.Start("execute")
+	res, err := runner(spec, h)
 	sp.EndErr(err)
 	wall := time.Since(j.started).Seconds()
 	s.histWall.Observe(wall)
@@ -413,7 +586,9 @@ func (s *Server) runJob(j *job) {
 	case ctxErr != nil || j.cancelRequested:
 		// The run may have been truncated mid-simulation; its partial
 		// result is meaningless, so it is dropped even if the runner
-		// reported success.
+		// reported success. (Its completed cells are journaled and will
+		// be resumed — the artifacts are individually complete even when
+		// the run is not.)
 		j.state = StateCanceled
 		switch {
 		case errors.Is(ctxErr, context.DeadlineExceeded):
@@ -424,19 +599,41 @@ func (s *Server) runJob(j *job) {
 			j.errMsg = "canceled"
 		}
 		s.ctr.canceled++
+		// Only a deliberate cancel — client request or the job's own
+		// deadline — closes the journal record. A forced shutdown
+		// (base context canceled with no cancel request) leaves it
+		// non-terminal on purpose: that is the crash marker boot
+		// recovery looks for.
+		if j.cancelRequested || errors.Is(ctxErr, context.DeadlineExceeded) {
+			s.storeFinish(j.hash, store.StateCanceled, j.errMsg)
+		}
 	case err != nil:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.ctr.failed++
+		s.storeFinish(j.hash, store.StateFailed, j.errMsg)
 	default:
 		res.WallSeconds = wall
 		j.state = StateSucceeded
 		j.result = res
 		s.ctr.succeeded++
 		s.ctr.simSecondsSum += res.SimSeconds
+		s.ctr.resumedCells += j.resumedCells.Load()
 		s.cachePut(j.hash, res)
+		s.storeFinish(j.hash, store.StateMerged, "")
 	}
 	close(j.done)
+}
+
+// storeFinish journals a terminal state, if a store is attached. Caller
+// may hold mu; the store has its own lock and never calls back.
+func (s *Server) storeFinish(hash string, st store.State, errMsg string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Finish(hash, st, errMsg); err != nil {
+		s.storeErrs.Add(1)
+	}
 }
 
 // cacheGet looks up and refreshes a cached result. Caller holds mu.
@@ -493,6 +690,8 @@ func (s *Server) view(j *job, includeResult bool) JobView {
 	if !j.started.IsZero() && !j.cached {
 		v.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
 	}
+	v.Recovered = j.recovered
+	v.ResumedCells = int(j.resumedCells.Load())
 	if includeResult && j.state == StateSucceeded {
 		v.Result = j.result
 	}
@@ -515,6 +714,9 @@ func (s *Server) Get(id string) (JobView, bool) {
 type ListQuery struct {
 	// Status, when non-empty, keeps only jobs in that state.
 	Status JobState
+	// Recovered keeps only jobs the daemon re-enqueued from its durable
+	// store at boot (any state). Composes with Status.
+	Recovered bool
 	// Limit bounds the page size (0 = no bound); Offset skips that many
 	// matching jobs first. Both apply after the Status filter, over the
 	// deterministic submission order.
@@ -531,9 +733,11 @@ func (s *Server) List(q ListQuery) ([]JobView, int) {
 	defer s.mu.Unlock()
 	matched := make([]*job, 0, len(s.order))
 	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok && (q.Status == "" || j.state == q.Status) {
-			matched = append(matched, j)
+		j, ok := s.jobs[id]
+		if !ok || (q.Status != "" && j.state != q.Status) || (q.Recovered && !j.recovered) {
+			continue
 		}
+		matched = append(matched, j)
 	}
 	total := len(matched)
 	if q.Offset > 0 {
@@ -583,6 +787,7 @@ func (s *Server) Cancel(id string) (JobView, bool) {
 		j.errMsg = "canceled before start"
 		j.finished = time.Now()
 		s.ctr.canceled++
+		s.storeFinish(j.hash, store.StateCanceled, j.errMsg)
 		close(j.done)
 	case StateRunning:
 		j.cancelRequested = true
@@ -655,11 +860,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeStore()
 		return nil
 	case <-ctx.Done():
 		s.cancelAll()
 		<-done
+		// Jobs the forced stop interrupted were deliberately NOT marked
+		// terminal in the store: closing it now leaves them journaled as
+		// accepted, so the next Open re-enqueues them — the in-process
+		// equivalent of a crash, which the recovery tests exploit.
+		s.closeStore()
 		return ctx.Err()
+	}
+}
+
+// closeStore releases the job store after the workers have exited.
+func (s *Server) closeStore() {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Close(); err != nil {
+		s.storeErrs.Add(1)
 	}
 }
 
@@ -677,6 +898,9 @@ type stats struct {
 	// can plot a fleet's completion fraction without polling each job.
 	cellsDoneRunning  int64
 	cellsTotalRunning int64
+	// Durable-store accounting (store nil when disabled).
+	store     *store.Stats
+	storeErrs int64
 }
 
 func (s *Server) snapshot() stats {
@@ -701,5 +925,10 @@ func (s *Server) snapshot() stats {
 			st.cellsTotalRunning += j.cellsTotal.Load()
 		}
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.store = &ss
+	}
+	st.storeErrs = s.storeErrs.Load()
 	return st
 }

@@ -29,6 +29,14 @@ type JobSpec struct {
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
 	VMServer   *exp.VMScenario `json:"vmserver,omitempty"`
 
+	// Cells, when non-nil, restricts an experiment job to the sweep-cell
+	// slice [Lo, Hi): the job runs only those cells and returns their
+	// artifacts (Result.Cells) instead of a rendered report. Only
+	// Shardable experiments accept it. Unlike the execution knobs below
+	// it changes the result, so it IS part of the cache key; a nil Cells
+	// leaves existing spec hashes unchanged.
+	Cells *CellRangeSpec `json:"cells,omitempty"`
+
 	// TimeoutSec bounds the job's wall-clock execution (0 = server
 	// default, capped at the server maximum). An execution knob, not
 	// part of the simulated world: it is excluded from the cache key.
@@ -63,6 +71,14 @@ const MaxJobParallelism = 64
 // a small multiple is waste.
 const MaxEngineShards = 16
 
+// CellRangeSpec is the wire form of a sweep cell range [Lo, Hi). The
+// zero range is invalid on the wire: the empty count probe is internal
+// to shard planning (exp.CellCount) and never crosses the API.
+type CellRangeSpec struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
 // ExperimentSpec selects a registry experiment — the same ids and knobs
 // as `greendimm -experiment <id> [-quick] [-seed n]`.
 type ExperimentSpec struct {
@@ -77,6 +93,7 @@ type cacheKeySpec struct {
 	Kind       string          `json:"kind"`
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
 	VMServer   *exp.VMScenario `json:"vmserver,omitempty"`
+	Cells      *CellRangeSpec  `json:"cells,omitempty"`
 }
 
 // normalized validates the spec and returns it with defaults made
@@ -103,10 +120,22 @@ func (s JobSpec) normalized() (JobSpec, error) {
 		if _, ok := exp.Registry()[e.ID]; !ok {
 			return s, fmt.Errorf("unknown experiment %q", e.ID)
 		}
+		if c := s.Cells; c != nil {
+			if !exp.Shardable(e.ID) {
+				return s, fmt.Errorf("experiment %q does not support cell ranges (shardable: %v)",
+					e.ID, exp.ShardableExperiments())
+			}
+			if c.Lo < 0 || c.Lo >= c.Hi {
+				return s, fmt.Errorf("cells [%d,%d) must satisfy 0 <= lo < hi", c.Lo, c.Hi)
+			}
+		}
 		s.Experiment = &e
 	case KindVMServer:
 		if s.VMServer == nil || s.Experiment != nil {
 			return s, fmt.Errorf("kind %q requires the vmserver payload and no experiment payload", s.Kind)
+		}
+		if s.Cells != nil {
+			return s, fmt.Errorf("kind %q does not support cell ranges", s.Kind)
 		}
 		v := s.VMServer.Normalized()
 		if err := v.Validate(); err != nil {
@@ -143,7 +172,7 @@ func SpecHash(s JobSpec) (string, error) {
 // encoding/json renders struct fields in declaration order, so the bytes
 // are deterministic.
 func (s JobSpec) hash() (string, error) {
-	b, err := json.Marshal(cacheKeySpec{Kind: s.Kind, Experiment: s.Experiment, VMServer: s.VMServer})
+	b, err := json.Marshal(cacheKeySpec{Kind: s.Kind, Experiment: s.Experiment, VMServer: s.VMServer, Cells: s.Cells})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+
+	"greendimm/internal/exp"
+)
+
+// TestSpecHashGolden pins SpecHash against committed hex values. The
+// hash is the durable store's record key and the cluster's divergence
+// cross-check key: if any of these change, journaled jobs from older
+// daemons stop matching their own specs at recovery and warm caches go
+// cold fleet-wide. An intentional cache-key change (adding a field that
+// affects results) must update these goldens in the same commit — and
+// must be called out as a store-compatibility break.
+//
+// The fourth case pins the most load-bearing property: a spec WITHOUT
+// Cells must hash exactly as it did before the Cells field existed,
+// so pre-shard-era journals and caches stay valid.
+func TestSpecHashGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{
+			name: "experiment defaults",
+			spec: JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8"}},
+			want: "dc1e567e31085e9da1b00491da492af334542b8b8181521f400d1d7f03060c6a",
+		},
+		{
+			name: "experiment quick seeded",
+			spec: JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8", Quick: true, Seed: 7}},
+			want: "c71737ad1e7793da873bba864e4e662458ac0425a9b7475855f0fc2eeeed11a3",
+		},
+		{
+			name: "experiment cell range",
+			spec: JobSpec{
+				Kind:       KindExperiment,
+				Experiment: &ExperimentSpec{ID: "fig8", Quick: true},
+				Cells:      &CellRangeSpec{Lo: 0, Hi: 6},
+			},
+			want: "a5923da09bbbe729f21b834f9485eededd24648ade9ee01cbced48c9b0a1bb32",
+		},
+		{
+			name: "vmserver",
+			spec: JobSpec{
+				Kind:     KindVMServer,
+				VMServer: &exp.VMScenario{CapacityGB: 64, Hours: 0.05, GreenDIMM: true, Seed: 3},
+			},
+			want: "f1261375306586c2d8e264d5404f66d4559a742e0c35ccb3d1d3b2acce052b5d",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := SpecHash(tc.spec)
+			if err != nil {
+				t.Fatalf("SpecHash: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("SpecHash changed:\n got %s\nwant %s\nIf deliberate, update the golden and flag the store-compatibility break.", got, tc.want)
+			}
+		})
+	}
+
+	// Execution knobs must NOT move the hash: specs differing only in
+	// timeout/parallelism/engine_shards share one cache entry.
+	base := JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8", Quick: true}}
+	knobbed := base
+	knobbed.TimeoutSec = 30
+	knobbed.Parallelism = 4
+	knobbed.EngineShards = 2
+	h1, err1 := SpecHash(base)
+	h2, err2 := SpecHash(knobbed)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("SpecHash: %v / %v", err1, err2)
+	}
+	if h1 != h2 {
+		t.Fatalf("execution knobs moved the hash: %s vs %s", h1, h2)
+	}
+
+	// Seed 0 normalizes to the CLI default (1), so the two spell one job.
+	hd, _ := SpecHash(JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8"}})
+	hs, _ := SpecHash(JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8", Seed: 1}})
+	if hd != hs {
+		t.Fatalf("seed default did not normalize: %s vs %s", hd, hs)
+	}
+}

@@ -1,0 +1,627 @@
+// Package store is greendimmd's durable job journal: a write-ahead log
+// plus periodic snapshot that records, per content-addressed spec hash
+// (server.SpecHash), the job's lifecycle state, its shard plan and
+// completed cell ranges, and every completed sweep-cell artifact. It is
+// what lets queued and running jobs survive a daemon restart, and lets
+// a resubmitted identical spec resume from its completed cells instead
+// of recomputing them.
+//
+// Layout on disk, under one directory:
+//
+//	wal.log        append-only records, one per line:
+//	               "<crc32-hex8> <json>\n" where the JSON is a walEntry
+//	               carrying a monotonically increasing seq
+//	snapshot.json  the full state as of some seq; written to a temp
+//	               file and atomically renamed, after which the WAL is
+//	               truncated
+//
+// Recovery protocol (Open): load the snapshot if present, then replay
+// WAL entries with seq greater than the snapshot's. The replay stops at
+// the first corrupt or torn line — a crash mid-append leaves at most
+// one partial record at the tail — and truncates the file there, so the
+// next append continues from a clean state. Because the snapshot rename
+// is atomic and the WAL truncate happens after it, a crash between the
+// two merely leaves stale low-seq entries that the seq filter skips.
+//
+// The store knows nothing about specs or simulation: specs are opaque
+// JSON, cells are opaque (key, JSON value) pairs whose keys are the
+// experiment layer's memo fingerprints. Verification that a replayed
+// cell is byte-exact happens above (exp.CellSet), not here.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// State is a recorded job's lifecycle state. Jobs move accepted →
+// sharded → (ranges complete) → merged/failed/canceled; only the three
+// last are terminal. A daemon crash leaves the record non-terminal,
+// which is exactly what marks it for recovery on the next boot.
+type State string
+
+const (
+	StateAccepted State = "accepted"
+	StateSharded  State = "sharded"
+	StateMerged   State = "merged"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateMerged || s == StateFailed || s == StateCanceled
+}
+
+// Cell is one durable sweep-cell artifact.
+type Cell struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Record is the exported snapshot of one spec's journal entry.
+type Record struct {
+	Hash  string          `json:"hash"`
+	Spec  json.RawMessage `json:"spec"`
+	State State           `json:"state"`
+	Err   string          `json:"err,omitempty"`
+	// Total is the planned sweep cell count (0 until a shard plan lands).
+	Total int `json:"total,omitempty"`
+	// Planned holds the shard plan's [lo,hi) ranges; Done the completed
+	// ones (disjoint, but not necessarily aligned with Planned after a
+	// re-shard).
+	Planned [][2]int `json:"planned,omitempty"`
+	Done    [][2]int `json:"done,omitempty"`
+	// CellCount is the number of journaled artifacts.
+	CellCount int `json:"cell_count,omitempty"`
+}
+
+// Options tunes a Store. Zero values take defaults.
+type Options struct {
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended records (default 512). Cell artifacts dominate WAL bytes,
+	// so the interval bounds replay work, not durability — every append
+	// is synced.
+	SnapshotEvery int
+	// MaxSpecs bounds retained records (default 256): at snapshot time
+	// the oldest terminal records (and their cells) are dropped.
+	// Non-terminal records are never dropped.
+	MaxSpecs int
+	// NoSync skips the per-append fsync — for tests that hammer the WAL.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 512
+	}
+	if o.MaxSpecs <= 0 {
+		o.MaxSpecs = 256
+	}
+	return o
+}
+
+// Stats is one consistent read of the store's accounting.
+type Stats struct {
+	// Specs and Cells count retained records and artifacts.
+	Specs int
+	Cells int
+	// Appends counts WAL records written by this process; Snapshots
+	// counts compactions.
+	Appends   int64
+	Snapshots int64
+	// Replayed counts WAL records applied at Open; TruncatedTail is set
+	// when Open cut a torn or corrupt tail off the WAL.
+	Replayed      int64
+	TruncatedTail bool
+}
+
+// record is the internal mutable form.
+type record struct {
+	hash    string
+	spec    json.RawMessage
+	state   State
+	errMsg  string
+	total   int
+	planned [][2]int
+	done    [][2]int
+	cells   map[string]json.RawMessage
+	order   []string // cell insertion order
+}
+
+func (r *record) view() Record {
+	return Record{
+		Hash:      r.hash,
+		Spec:      r.spec,
+		State:     r.state,
+		Err:       r.errMsg,
+		Total:     r.total,
+		Planned:   append([][2]int(nil), r.planned...),
+		Done:      append([][2]int(nil), r.done...),
+		CellCount: len(r.cells),
+	}
+}
+
+// walEntry is one WAL record. Op selects which fields are meaningful.
+type walEntry struct {
+	Seq  uint64 `json:"seq"`
+	Op   string `json:"op"` // accept | plan | range | cell | finish
+	Hash string `json:"hash"`
+
+	Spec   json.RawMessage `json:"spec,omitempty"`   // accept
+	State  State           `json:"state,omitempty"`  // finish
+	Err    string          `json:"err,omitempty"`    // finish
+	Total  int             `json:"total,omitempty"`  // plan
+	Ranges [][2]int        `json:"ranges,omitempty"` // plan
+	Lo     int             `json:"lo,omitempty"`     // range
+	Hi     int             `json:"hi,omitempty"`     // range
+	Key    string          `json:"key,omitempty"`    // cell
+	Value  json.RawMessage `json:"value,omitempty"`  // cell
+}
+
+// snapshotFile is the on-disk snapshot shape.
+type snapshotFile struct {
+	Seq     uint64       `json:"seq"`
+	Records []snapRecord `json:"records"`
+}
+
+type snapRecord struct {
+	Record
+	Cells []Cell `json:"cells,omitempty"`
+}
+
+// Store is the durable journal. All methods are safe for concurrent
+// use; appends are serialized and synced before returning.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	seq     uint64
+	pending int // appends since last snapshot
+	recs    map[string]*record
+	order   []string // accept order of hashes
+	stats   Stats
+}
+
+// Open loads (or initializes) the store in dir, applying the recovery
+// protocol described in the package comment.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		recs: make(map[string]*record),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	return s, nil
+}
+
+func (s *Store) walPath() string  { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapPath() string { return filepath.Join(s.dir, "snapshot.json") }
+
+// loadSnapshot applies snapshot.json if present.
+func (s *Store) loadSnapshot() error {
+	b, err := os.ReadFile(s.snapPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	s.seq = snap.Seq
+	for _, sr := range snap.Records {
+		r := &record{
+			hash:    sr.Hash,
+			spec:    sr.Spec,
+			state:   sr.State,
+			errMsg:  sr.Err,
+			total:   sr.Total,
+			planned: sr.Planned,
+			done:    sr.Done,
+			cells:   make(map[string]json.RawMessage, len(sr.Cells)),
+		}
+		for _, c := range sr.Cells {
+			if _, ok := r.cells[c.Key]; !ok {
+				r.cells[c.Key] = c.Value
+				r.order = append(r.order, c.Key)
+			}
+		}
+		s.recs[sr.Hash] = r
+		s.order = append(s.order, sr.Hash)
+	}
+	return nil
+}
+
+// replayWAL applies WAL entries past the snapshot seq, truncating the
+// file at the first torn or corrupt line.
+func (s *Store) replayWAL() error {
+	b, err := os.ReadFile(s.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading wal: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := b[off : off+nl]
+		e, ok := decodeLine(line)
+		if !ok {
+			break // corrupt from here on; cut the tail
+		}
+		if e.Seq > s.seq {
+			s.apply(e)
+			s.seq = e.Seq
+			s.stats.Replayed++
+		}
+		off += nl + 1
+	}
+	if off < len(b) {
+		s.stats.TruncatedTail = true
+		if err := os.Truncate(s.walPath(), int64(off)); err != nil {
+			return fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeLine parses "<crc8hex> <json>" and verifies the checksum.
+func decodeLine(line []byte) (walEntry, bool) {
+	var e walEntry
+	if len(line) < 10 || line[8] != ' ' {
+		return e, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return e, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return e, false
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		return e, false
+	}
+	return e, true
+}
+
+// apply mutates in-memory state with one entry. Caller holds mu (or is
+// single-threaded replay).
+func (s *Store) apply(e walEntry) {
+	r := s.recs[e.Hash]
+	switch e.Op {
+	case "accept":
+		if r == nil {
+			r = &record{hash: e.Hash, spec: e.Spec, cells: make(map[string]json.RawMessage)}
+			s.recs[e.Hash] = r
+			s.order = append(s.order, e.Hash)
+		}
+		// Re-acceptance of a finished spec re-opens it, keeping its
+		// journaled cells and completed ranges: that is the resume path.
+		r.state = StateAccepted
+		r.errMsg = ""
+		if len(e.Spec) > 0 {
+			r.spec = e.Spec
+		}
+	case "plan":
+		if r == nil {
+			return
+		}
+		r.state = StateSharded
+		r.total = e.Total
+		r.planned = e.Ranges
+	case "range":
+		if r == nil {
+			return
+		}
+		r.done = addRange(r.done, e.Lo, e.Hi)
+	case "cell":
+		if r == nil {
+			return
+		}
+		if _, ok := r.cells[e.Key]; !ok {
+			r.cells[e.Key] = e.Value
+			r.order = append(r.order, e.Key)
+		}
+	case "finish":
+		if r == nil {
+			return
+		}
+		r.state = e.State
+		r.errMsg = e.Err
+	}
+}
+
+// addRange inserts [lo,hi) keeping the set sorted and merged.
+func addRange(done [][2]int, lo, hi int) [][2]int {
+	if hi <= lo {
+		return done
+	}
+	out := make([][2]int, 0, len(done)+1)
+	placed := false
+	for _, r := range done {
+		switch {
+		case r[1] < lo || (placed && r[0] > hi):
+			out = append(out, r)
+		case r[0] > hi:
+			if !placed {
+				out = append(out, [2]int{lo, hi})
+				placed = true
+			}
+			out = append(out, r)
+		default: // overlap or adjacency: merge
+			if r[0] < lo {
+				lo = r[0]
+			}
+			if r[1] > hi {
+				hi = r[1]
+			}
+		}
+	}
+	if !placed {
+		out = append(out, [2]int{lo, hi})
+	}
+	// Re-sort by lo: merging may have grown [lo,hi) past later entries
+	// already copied; normalize with one more merge pass.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r[0] <= merged[n-1][1] {
+			if r[1] > merged[n-1][1] {
+				merged[n-1][1] = r[1]
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// append writes one entry to the WAL (synced) and applies it. Caller
+// holds mu.
+func (s *Store) append(e walEntry) error {
+	if s.wal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	s.seq++
+	e.Seq = s.seq
+	body, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal entry: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
+	if _, err := s.wal.WriteString(line); err != nil {
+		return fmt.Errorf("store: appending wal: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: syncing wal: %w", err)
+		}
+	}
+	s.apply(e)
+	s.stats.Appends++
+	s.pending++
+	if s.pending >= s.opts.SnapshotEvery {
+		return s.snapshot()
+	}
+	return nil
+}
+
+// snapshot writes the full state to snapshot.json (temp file + atomic
+// rename), prunes old terminal records past MaxSpecs, and truncates the
+// WAL. Caller holds mu.
+func (s *Store) snapshot() error {
+	// Prune oldest terminal records beyond the bound before persisting.
+	if excess := len(s.order) - s.opts.MaxSpecs; excess > 0 {
+		kept := s.order[:0]
+		for _, h := range s.order {
+			if excess > 0 {
+				if r := s.recs[h]; r != nil && r.state.Terminal() {
+					delete(s.recs, h)
+					excess--
+					continue
+				}
+			}
+			kept = append(kept, h)
+		}
+		s.order = kept
+	}
+	snap := snapshotFile{Seq: s.seq}
+	for _, h := range s.order {
+		r := s.recs[h]
+		sr := snapRecord{Record: r.view()}
+		for _, k := range r.order {
+			sr.Cells = append(sr.Cells, Cell{Key: k, Value: r.cells[k]})
+		}
+		snap.Records = append(snap.Records, sr)
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp := s.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapPath()); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	s.pending = 0
+	s.stats.Snapshots++
+	return nil
+}
+
+// Accept journals a spec's (re-)acceptance. An existing record —
+// terminal or not — is re-opened in state accepted with its cells and
+// completed ranges intact, which is how a resubmitted spec resumes.
+func (s *Store) Accept(hash string, spec json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.recs[hash]; ok && r.state == StateAccepted {
+		return nil // already open; keep the WAL quiet on duplicate submits
+	}
+	return s.append(walEntry{Op: "accept", Hash: hash, Spec: compactJSON(spec)})
+}
+
+// Plan journals a shard plan: the sweep's total cell count and the
+// planned [lo,hi) ranges. The record moves to state sharded.
+func (s *Store) Plan(hash string, total int, ranges [][2]int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[hash]; !ok {
+		return nil // record pruned or never accepted; nothing to attach to
+	}
+	return s.append(walEntry{Op: "plan", Hash: hash, Total: total, Ranges: ranges})
+}
+
+// RangeDone journals completion of cell range [lo,hi). Call only after
+// the range's cells are journaled: recovery trusts a done range to be
+// fully backed by artifacts (a violated ordering degrades to
+// recomputation at merge, not to wrong bytes).
+func (s *Store) RangeDone(hash string, lo, hi int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[hash]; !ok {
+		return nil
+	}
+	return s.append(walEntry{Op: "range", Hash: hash, Lo: lo, Hi: hi})
+}
+
+// PutCell journals one completed cell artifact. A key already present
+// is skipped without touching the WAL — cells are deterministic, so a
+// duplicate carries no new information and resume must not grow the log.
+func (s *Store) PutCell(hash, key string, value json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[hash]
+	if !ok {
+		return nil
+	}
+	if _, ok := r.cells[key]; ok {
+		return nil
+	}
+	return s.append(walEntry{Op: "cell", Hash: hash, Key: key, Value: compactJSON(value)})
+}
+
+// Finish journals a terminal state. st must be terminal.
+func (s *Store) Finish(hash string, st State, errMsg string) error {
+	if !st.Terminal() {
+		return fmt.Errorf("store: Finish with non-terminal state %q", st)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[hash]; !ok {
+		return nil
+	}
+	return s.append(walEntry{Op: "finish", Hash: hash, State: st, Err: errMsg})
+}
+
+// Get returns one record's snapshot.
+func (s *Store) Get(hash string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[hash]
+	if !ok {
+		return Record{}, false
+	}
+	return r.view(), true
+}
+
+// Pending returns every non-terminal record in acceptance order — the
+// jobs a restarted daemon must re-enqueue.
+func (s *Store) Pending() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, h := range s.order {
+		if r := s.recs[h]; r != nil && !r.state.Terminal() {
+			out = append(out, r.view())
+		}
+	}
+	return out
+}
+
+// Resume returns a record's journaled cells (insertion order) and its
+// completed ranges — everything a re-run needs to skip finished work.
+func (s *Store) Resume(hash string) ([]Cell, [][2]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[hash]
+	if !ok {
+		return nil, nil
+	}
+	cells := make([]Cell, 0, len(r.order))
+	for _, k := range r.order {
+		cells = append(cells, Cell{Key: k, Value: r.cells[k]})
+	}
+	return cells, append([][2]int(nil), r.done...)
+}
+
+// Stats returns one consistent read of the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Specs = len(s.recs)
+	for _, r := range s.recs {
+		st.Cells += len(r.cells)
+	}
+	return st
+}
+
+// Close releases the WAL file handle. Further mutations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// compactJSON normalizes whitespace so replayed bytes compare equal to
+// freshly marshaled ones. Invalid JSON passes through unchanged.
+func compactJSON(raw json.RawMessage) json.RawMessage {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}

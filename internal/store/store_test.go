@@ -1,0 +1,306 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustDo(t *testing.T, name string, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+}
+
+// TestLifecycleReplay drives one job through accept → plan → cells →
+// ranges → finish, reopens the store, and checks every detail survived
+// the WAL replay.
+func TestLifecycleReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	mustDo(t, "Accept", s.Accept("h1", json.RawMessage(`{"kind":"experiment","experiment":"fig8"}`)))
+	mustDo(t, "Plan", s.Plan("h1", 12, [][2]int{{0, 6}, {6, 12}}))
+	mustDo(t, "PutCell", s.PutCell("h1", "timing|a", json.RawMessage(`{"v":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "timing|b", json.RawMessage(`{"v":2}`)))
+	mustDo(t, "RangeDone", s.RangeDone("h1", 0, 6))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s = open(t, dir, Options{})
+	defer s.Close()
+	rec, ok := s.Get("h1")
+	if !ok {
+		t.Fatal("record lost across reopen")
+	}
+	if rec.State != StateSharded || rec.Total != 12 || rec.CellCount != 2 {
+		t.Fatalf("replayed record = %+v", rec)
+	}
+	if !reflect.DeepEqual(rec.Done, [][2]int{{0, 6}}) {
+		t.Fatalf("done ranges = %v", rec.Done)
+	}
+	if !reflect.DeepEqual(rec.Planned, [][2]int{{0, 6}, {6, 12}}) {
+		t.Fatalf("planned ranges = %v", rec.Planned)
+	}
+	pend := s.Pending()
+	if len(pend) != 1 || pend[0].Hash != "h1" {
+		t.Fatalf("Pending = %+v, want the one open job", pend)
+	}
+	cells, done := s.Resume("h1")
+	if len(cells) != 2 || cells[0].Key != "timing|a" || string(cells[1].Value) != `{"v":2}` {
+		t.Fatalf("Resume cells = %+v", cells)
+	}
+	if !reflect.DeepEqual(done, [][2]int{{0, 6}}) {
+		t.Fatalf("Resume done = %v", done)
+	}
+
+	// Finish, reopen: the job is terminal, off the pending list, but its
+	// cells survive for a resubmission to resume from.
+	mustDo(t, "Finish", s.Finish("h1", StateMerged, ""))
+	s.Close()
+	s = open(t, dir, Options{})
+	defer s.Close()
+	if got := s.Pending(); len(got) != 0 {
+		t.Fatalf("Pending after finish = %+v", got)
+	}
+	if rec, _ := s.Get("h1"); rec.State != StateMerged || rec.CellCount != 2 {
+		t.Fatalf("finished record = %+v", rec)
+	}
+
+	// Re-accepting the same hash re-opens it with its cells intact.
+	mustDo(t, "re-Accept", s.Accept("h1", nil))
+	rec, _ = s.Get("h1")
+	if rec.State != StateAccepted || rec.CellCount != 2 {
+		t.Fatalf("re-accepted record = %+v", rec)
+	}
+	if string(rec.Spec) == "" {
+		t.Fatal("re-accept with nil spec dropped the stored spec")
+	}
+}
+
+// TestTornTail appends a valid history, then simulates a crash
+// mid-append by chopping the last line in half: Open must keep every
+// whole record, cut the tail, and leave the WAL appendable.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	mustDo(t, "Accept", s.Accept("h1", json.RawMessage(`{"a":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k1", json.RawMessage(`{"v":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k2", json.RawMessage(`{"v":2}`)))
+	s.Close()
+
+	wal := filepath.Join(dir, "wal.log")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	last := lines[len(lines)-2] // lines ends with one empty slice after final \n
+	torn := b[:len(b)-len(last)/2-1]
+	if err := os.WriteFile(wal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = open(t, dir, Options{})
+	defer s.Close()
+	if !s.Stats().TruncatedTail {
+		t.Fatal("torn tail not reported")
+	}
+	rec, ok := s.Get("h1")
+	if !ok || rec.CellCount != 1 {
+		t.Fatalf("after torn tail: rec=%+v ok=%v, want 1 surviving cell", rec, ok)
+	}
+	// The WAL is clean again: a fresh append and replay both work.
+	mustDo(t, "PutCell after truncation", s.PutCell("h1", "k3", json.RawMessage(`{"v":3}`)))
+	s.Close()
+	s = open(t, dir, Options{})
+	defer s.Close()
+	if rec, _ := s.Get("h1"); rec.CellCount != 2 {
+		t.Fatalf("after re-append: CellCount=%d, want 2 (k1, k3)", rec.CellCount)
+	}
+}
+
+// TestCRCCorruption flips a byte inside an early record: replay must
+// stop there, keeping only the prefix.
+func TestCRCCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	mustDo(t, "Accept", s.Accept("h1", json.RawMessage(`{"a":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k1", json.RawMessage(`{"v":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k2", json.RawMessage(`{"v":2}`)))
+	s.Close()
+
+	wal := filepath.Join(dir, "wal.log")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second line's JSON body (line 2 is the k1 cell).
+	nl := bytes.IndexByte(b, '\n')
+	b[nl+15] ^= 0xff
+	if err := os.WriteFile(wal, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = open(t, dir, Options{})
+	defer s.Close()
+	if !s.Stats().TruncatedTail {
+		t.Fatal("corruption not reported as a truncated tail")
+	}
+	rec, ok := s.Get("h1")
+	if !ok || rec.CellCount != 0 {
+		t.Fatalf("after corruption: rec=%+v ok=%v, want the accept only", rec, ok)
+	}
+}
+
+// TestSnapshotCompaction forces a snapshot, checks the WAL emptied and
+// the snapshot file carries the state, then verifies stale low-seq WAL
+// entries (a crash between rename and truncate) are skipped on replay.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SnapshotEvery: 4})
+	mustDo(t, "Accept", s.Accept("h1", json.RawMessage(`{"a":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k1", json.RawMessage(`{"v":1}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k2", json.RawMessage(`{"v":2}`)))
+	mustDo(t, "RangeDone", s.RangeDone("h1", 0, 3)) // 4th append → snapshot
+	if st := s.Stats(); st.Snapshots != 1 {
+		t.Fatalf("Snapshots = %d, want 1", st.Snapshots)
+	}
+	walBytes, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil || len(walBytes) != 0 {
+		t.Fatalf("WAL after snapshot: %d bytes err=%v, want empty", len(walBytes), err)
+	}
+	mustDo(t, "PutCell post-snapshot", s.PutCell("h1", "k3", json.RawMessage(`{"v":3}`)))
+	s.Close()
+
+	s = open(t, dir, Options{})
+	rec, _ := s.Get("h1")
+	if rec.CellCount != 3 || !reflect.DeepEqual(rec.Done, [][2]int{{0, 3}}) {
+		t.Fatalf("after snapshot+wal replay: %+v", rec)
+	}
+	s.Close()
+
+	// Crash between snapshot rename and WAL truncate: prepend a stale
+	// entry whose seq predates the snapshot. Replay must skip it.
+	stale := walEntry{Seq: 1, Op: "cell", Hash: "h1", Key: "stale", Value: json.RawMessage(`{}`)}
+	body, _ := json.Marshal(stale)
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
+	cur, _ := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), append([]byte(line), cur...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = open(t, dir, Options{})
+	defer s.Close()
+	rec, _ = s.Get("h1")
+	if rec.CellCount != 3 {
+		t.Fatalf("stale low-seq entry applied: CellCount=%d, want 3", rec.CellCount)
+	}
+}
+
+// TestPutCellDedup checks a duplicate key neither mutates state nor
+// grows the WAL — resume must not re-journal replayed cells.
+func TestPutCellDedup(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	defer s.Close()
+	mustDo(t, "Accept", s.Accept("h1", json.RawMessage(`{}`)))
+	mustDo(t, "PutCell", s.PutCell("h1", "k", json.RawMessage(`{"v":1}`)))
+	before, _ := os.ReadFile(filepath.Join(dir, "wal.log"))
+	mustDo(t, "dup PutCell", s.PutCell("h1", "k", json.RawMessage(`{"v":999}`)))
+	after, _ := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if !bytes.Equal(before, after) {
+		t.Fatal("duplicate PutCell grew the WAL")
+	}
+	cells, _ := s.Resume("h1")
+	if len(cells) != 1 || string(cells[0].Value) != `{"v":1}` {
+		t.Fatalf("dedup kept wrong value: %+v", cells)
+	}
+	// Mutations on an unknown hash are silent no-ops.
+	mustDo(t, "unknown-hash PutCell", s.PutCell("nope", "k", json.RawMessage(`{}`)))
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("unknown-hash mutation created a record")
+	}
+}
+
+// TestMaxSpecsPrune accepts and finishes more specs than MaxSpecs and
+// checks snapshot-time pruning drops the oldest terminal ones while
+// never touching a non-terminal record.
+func TestMaxSpecsPrune(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSpecs: 3, SnapshotEvery: 1000})
+	mustDo(t, "Accept open", s.Accept("open", json.RawMessage(`{}`)))
+	for i := 0; i < 5; i++ {
+		h := fmt.Sprintf("t%d", i)
+		mustDo(t, "Accept", s.Accept(h, json.RawMessage(`{}`)))
+		mustDo(t, "PutCell", s.PutCell(h, "k", json.RawMessage(`{"v":1}`)))
+		mustDo(t, "Finish", s.Finish(h, StateMerged, ""))
+	}
+	s.mu.Lock()
+	err := s.snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if st := s.Stats(); st.Specs != 3 {
+		t.Fatalf("Specs after prune = %d, want 3", st.Specs)
+	}
+	if _, ok := s.Get("open"); !ok {
+		t.Fatal("prune dropped a non-terminal record")
+	}
+	for _, h := range []string{"t0", "t1", "t2"} {
+		if _, ok := s.Get(h); ok {
+			t.Fatalf("oldest terminal %s survived prune", h)
+		}
+	}
+	for _, h := range []string{"t3", "t4"} {
+		if rec, ok := s.Get(h); !ok || rec.CellCount != 1 {
+			t.Fatalf("newest terminal %s lost (ok=%v rec=%+v)", h, ok, rec)
+		}
+	}
+	s.Close()
+
+	// The pruned shape is what persists.
+	s = open(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Specs != 3 {
+		t.Fatalf("Specs after reopen = %d, want 3", st.Specs)
+	}
+}
+
+// TestAddRange covers the merge arithmetic directly.
+func TestAddRange(t *testing.T) {
+	cases := []struct {
+		in     [][2]int
+		lo, hi int
+		want   [][2]int
+	}{
+		{nil, 0, 4, [][2]int{{0, 4}}},
+		{[][2]int{{0, 4}}, 4, 8, [][2]int{{0, 8}}},            // adjacent merges
+		{[][2]int{{0, 4}}, 6, 8, [][2]int{{0, 4}, {6, 8}}},    // disjoint
+		{[][2]int{{0, 4}, {6, 8}}, 3, 7, [][2]int{{0, 8}}},    // bridges both
+		{[][2]int{{4, 8}}, 0, 2, [][2]int{{0, 2}, {4, 8}}},    // insert before
+		{[][2]int{{0, 4}}, 1, 3, [][2]int{{0, 4}}},            // contained
+		{[][2]int{{0, 4}}, 4, 4, [][2]int{{0, 4}}},            // empty ignored
+		{[][2]int{{2, 4}, {8, 10}}, 0, 12, [][2]int{{0, 12}}}, // swallows all
+	}
+	for _, c := range cases {
+		if got := addRange(append([][2]int(nil), c.in...), c.lo, c.hi); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("addRange(%v, %d, %d) = %v, want %v", c.in, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -23,6 +23,14 @@ set -eu
 cd "$(dirname "$0")/.."
 
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo "worktree")
+# A snapshot from a dirty tree measures code that no commit identifies;
+# record that, so bench_compare.sh can warn when a comparison involves
+# unreproducible numbers.
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    dirty=true
+else
+    dirty=false
+fi
 out="${1:-BENCH_${rev}.json}"
 filter="${BENCH_FILTER:-.}"
 benchtime="${BENCH_TIME:-1x}"
@@ -80,7 +88,7 @@ END {
 }' "$raw" > "$raw.body"
 
 {
-    printf '{\n  "rev": "%s",\n  "quick": true,\n  "benchtime": "%s",\n' "$rev" "$benchtime"
+    printf '{\n  "rev": "%s",\n  "dirty": %s,\n  "quick": true,\n  "benchtime": "%s",\n' "$rev" "$dirty" "$benchtime"
     printf '  "engine_shards": %s,\n  "gomaxprocs": %s,\n  "cpus": %s,\n  "go": "%s",\n' \
         "$shards" "$gomaxprocs" "$cpus" "$goversion"
     printf '  "benchmarks": {\n'

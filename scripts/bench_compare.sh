@@ -52,6 +52,19 @@ if [ "$old_shards" != "$new_shards" ]; then
     exit 1
 fi
 
+# A snapshot taken from a dirty working tree measures code no commit
+# identifies — the comparison may not be reproducible. Warn (not fatal:
+# dirty-tree snapshots are exactly how one iterates on a perf change);
+# snapshots predating the field count as clean.
+dirty_of() {
+    grep -q '"dirty": *true' "$1" 2>/dev/null && echo dirty || echo clean
+}
+for snap in "$old" "$new"; do
+    if [ "$(dirty_of "$snap")" = dirty ]; then
+        echo "bench_compare: WARNING: $snap was taken from a dirty working tree; its rev does not identify the measured code" >&2
+    fi
+done
+
 echo "==> bench_compare: $old -> $new (gate: $gate, tolerance: ${tol}%, engine_shards: $new_shards)"
 
 awk -v gate="$gate" -v tol="$tol" -v strict="$strict" '

@@ -39,6 +39,14 @@ echo "==> go test -race ./internal/cluster/ (fault injection)"
 # heavy; its fault-injection suite must always run under the detector.
 GREENDIMM_QUICK=1 go test -race ./internal/cluster/
 
+echo "==> go test -race ./internal/store/ (WAL crash consistency)"
+# The durable job store's replay path — torn tails, CRC corruption,
+# snapshot compaction — and the server's crash-recovery e2e must always
+# run under the detector: journaling happens from concurrent sweep cells.
+go test -race ./internal/store/
+GREENDIMM_QUICK=1 go test -race -run 'Recovery|Resubmit|Resume|Shard' \
+    ./internal/server/ ./internal/cluster/
+
 echo "==> go test -race ./internal/obs/ (lock-free span ring)"
 # The trace ring's atomic reservation/publication protocol is only as
 # good as its race coverage; run it under the detector unconditionally.
