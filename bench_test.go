@@ -393,3 +393,27 @@ func BenchmarkFig13PowerVsCapacity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPolicyGrid regenerates the policy-pipeline ablation: the
+// (tracker x policy) x workload grid behind the redesigned selection
+// API (DESIGN.md §12).
+func BenchmarkPolicyGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunPolicyGrid(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// free-first vs the age-threshold gate on mcf: the capacity the
+		// idle gate gives up for stability.
+		b.ReportMetric(r.Cells[0].OfflinedGB, "free-first-mcf-GB")
+		b.ReportMetric(r.Cells[len(r.Apps)].OfflinedGB, "age-thr-mcf-GB")
+		var failures int64
+		for _, c := range r.Cells {
+			failures += c.Failures
+		}
+		b.ReportMetric(float64(failures), "grid-failures")
+		if i == 0 {
+			b.Logf("\n%s\n%s\n%s\n%s", r.OfflinedTable(), r.FailureTable(), r.ChurnTable(), r.OverheadTable())
+		}
+	}
+}

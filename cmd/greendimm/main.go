@@ -6,6 +6,7 @@
 //	greendimm -experiment fig12            # one experiment
 //	greendimm -experiment all -quick       # everything, reduced horizons
 //	greendimm -spec jobs.json              # run a JSON job-spec file
+//	greendimm -policy-config policy.json   # run a configured selection policy on a VM day
 //	greendimm -experiment all -backends http://a:8080,http://b:8080
 //
 // With -backends, jobs are dispatched across the given greendimmd
@@ -45,6 +46,7 @@ func main() {
 		shards     = flag.Int("engine-shards", 0, "per-channel event lanes inside each simulation engine (0 = sequential, -1 = auto for this host; output is identical either way)")
 		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
 		specFile   = flag.String("spec", "", "run a JSON job-spec file (one spec object or an array) instead of -experiment")
+		policyFile = flag.String("policy-config", "", "run a JSON policy config file (a block-selection pipeline plus an optional VM scenario) instead of -experiment")
 		backends   = flag.String("backends", "", "comma-separated greendimmd base URLs; jobs run remotely with routing, retries and hedging (in-process fallback if all are down)")
 		hedgeAfter = flag.Duration("hedge-after", 30*time.Second, "with -backends: duplicate an unfinished job onto a second backend after this long (0 disables hedging)")
 		traceOut   = flag.String("trace-out", "", "write a JSON execution trace (per-cell spans; with -backends also attempts/hedges/backoffs) to this file")
@@ -69,6 +71,17 @@ func main() {
 	}
 
 	switch {
+	case *policyFile != "":
+		pc, err := server.LoadPolicyConfig(*policyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec := pc.JobSpec()
+		spec.Parallelism = *parallel
+		spec.EngineShards = *shards
+		runSpecs([]string{"policy:" + pc.Policy.Fingerprint()}, []server.JobSpec{spec},
+			*backends, *hedgeAfter, *csvDir, *traceOut)
 	case *specFile != "":
 		specs, err := loadSpecs(*specFile)
 		if err != nil {

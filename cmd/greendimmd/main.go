@@ -57,6 +57,7 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 		storeDir   = flag.String("store-dir", "", "durable job store directory: accepted jobs and their completed sweep cells are journaled, jobs interrupted by a crash resume from completed work at the next start; empty keeps the daemon in-memory")
 		shardCells = flag.Int("shard-cells", 0, "fan matrix experiments out across -peers as cell-range shards of about this many sweep cells each (0 disables; requires -peers)")
+		policyFile = flag.String("policy-config", "", "JSON policy config file; its block-selection pipeline becomes the default for vmserver jobs that omit a policy (see GET /v1/policies)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,17 @@ func main() {
 		MaxJobRecords:  *maxRecords,
 		CPUBudget:      *cpuBudget,
 		StoreDir:       *storeDir,
+	}
+	if *policyFile != "" {
+		pc, err := server.LoadPolicyConfig(*policyFile)
+		if err != nil {
+			log.Fatalf("-policy-config: %v", err)
+		}
+		if pc.Scenario != nil {
+			log.Fatalf("-policy-config: the scenario section is for the one-shot greendimm CLI; the daemon takes only the policy")
+		}
+		cfg.DefaultPolicy = &pc.Policy
+		log.Printf("default block-selection policy: %s", pc.Policy.Fingerprint())
 	}
 
 	// The peer pool is built before the server so the shard runner can be

@@ -32,34 +32,6 @@ type PowerController interface {
 	ExitGroupDPD(g int, ready func()) error
 }
 
-// SelectPolicy chooses how block_selector picks off-lining victims
-// (paper §5.2, Fig. 8).
-type SelectPolicy int
-
-const (
-	// SelectFreeFirst is the production policy: only fully-free blocks,
-	// highest address first (free memory pools at high addresses).
-	SelectFreeFirst SelectPolicy = iota
-	// SelectRemovableFirst prefers removable blocks (no unmovable pages)
-	// but will off-line blocks with used movable pages, migrating them.
-	SelectRemovableFirst
-	// SelectRandom picks uniformly among on-line blocks — the Fig. 8
-	// baseline with ~2x the failures.
-	SelectRandom
-)
-
-func (p SelectPolicy) String() string {
-	switch p {
-	case SelectFreeFirst:
-		return "free-first"
-	case SelectRemovableFirst:
-		return "removable-first"
-	case SelectRandom:
-		return "random"
-	}
-	return "invalid"
-}
-
 // Config tunes the daemon. Zero values take paper defaults.
 type Config struct {
 	// Period is the memory_usage_monitor interval (paper: 1s).
@@ -74,8 +46,9 @@ type Config struct {
 	AdaptiveAlpha bool
 	// OnThr: on-line blocks when free memory falls under this fraction.
 	OnThr float64
-	// Policy selects the block_selector strategy.
-	Policy SelectPolicy
+	// Policy selects the block_selector pipeline (policy + tracker +
+	// params). The zero value normalizes to the paper's free-first.
+	Policy PolicySpec
 	// MaxOfflinePerTick bounds off-linings per monitor tick (0 = 4).
 	MaxOfflinePerTick int
 	// MaxFailuresPerTick stops retrying selections after this many
@@ -123,6 +96,7 @@ type Daemon struct {
 	ctrl PowerController
 	cfg  Config
 	rng  *sim.RNG
+	sel  *selector
 
 	installedBytes int64
 	groupBytes     int64
@@ -185,8 +159,13 @@ func New(eng *sim.Engine, mem *kernel.Mem, hp *hotplug.Manager, ctrl PowerContro
 	if cfg.OfflinableBytes < 0 || cfg.OfflinableBytes > installed {
 		return nil, fmt.Errorf("core: offlinable bytes %d out of range", cfg.OfflinableBytes)
 	}
+	sel, err := newSelector(cfg.Policy, hp.Blocks(), eng.Now())
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = sel.spec
 	d := &Daemon{
-		eng: eng, mem: mem, hp: hp, ctrl: ctrl, cfg: cfg,
+		eng: eng, mem: mem, hp: hp, ctrl: ctrl, cfg: cfg, sel: sel,
 		rng:             sim.NewRNG(cfg.Seed ^ 0x677265656e),
 		installedBytes:  installed,
 		groupBytes:      groupBytes,
@@ -283,7 +262,8 @@ func (d *Daemon) freeAndBudget() (free, budget int64) {
 func (d *Daemon) offlinePass(freeBytes, offThrBytes int64) {
 	failures := 0
 	offlined := 0
-	attempted := map[int]bool{}
+	attempted := d.sel.attempted
+	clear(attempted)
 	for offlined < d.cfg.MaxOfflinePerTick &&
 		failures < d.cfg.MaxFailuresPerTick &&
 		freeBytes > offThrBytes+d.hp.BlockBytes() {
@@ -301,6 +281,7 @@ func (d *Daemon) offlinePass(freeBytes, offThrBytes int64) {
 			freeBytes -= d.hp.BlockBytes()
 			d.offlineStack = append(d.offlineStack, b)
 			d.offlineBlocksTS.Set(d.eng.Now(), float64(len(d.offlineStack)))
+			d.sel.noteOffline(b, d.eng.Now())
 			d.blockOfflined(b)
 		case errors.Is(err, hotplug.ErrBusy):
 			d.stats.EBusyFailures++
@@ -315,15 +296,37 @@ func (d *Daemon) offlinePass(freeBytes, offThrBytes int64) {
 }
 
 // onlinePass brings blocks back until free memory recovers to the reserve
-// target.
+// target. The policy may veto individual on-linings (hysteresis holds
+// fresh off-linings down); the pass takes the newest non-vetoed block,
+// and under a unanimous veto overrides the policy on the newest block —
+// memory pressure always wins over power savings.
 func (d *Daemon) onlinePass(freeBytes, offThrBytes int64) {
 	for freeBytes < offThrBytes && len(d.offlineStack) > 0 {
-		b := d.offlineStack[len(d.offlineStack)-1]
+		idx := len(d.offlineStack) - 1
+		for j := idx; j >= 0; j-- {
+			if !d.keepOffline(d.offlineStack[j]) {
+				idx = j
+				break
+			}
+		}
+		b := d.offlineStack[idx]
+		copy(d.offlineStack[idx:], d.offlineStack[idx+1:])
 		d.offlineStack = d.offlineStack[:len(d.offlineStack)-1]
 		d.offlineBlocksTS.Set(d.eng.Now(), float64(len(d.offlineStack)))
 		d.onlineBlock(b)
 		freeBytes += d.hp.BlockBytes()
 	}
+}
+
+// keepOffline consults the policy's on-lining veto for block b.
+func (d *Daemon) keepOffline(b int) bool {
+	v := &d.sel.view
+	v.HP = d.hp
+	v.RNG = d.rng
+	v.Tracker = d.sel.tracker
+	v.Now = d.eng.Now()
+	v.OfflinedAt = d.sel.offlinedAt
+	return d.sel.policy.KeepOffline(v, b)
 }
 
 // onlineBlock wakes the block's sub-array groups if needed, then on-lines
@@ -439,7 +442,7 @@ func overlap(lo, hi uint64, g int, groupBytes int64) int64 {
 	return int64(b - a)
 }
 
-// selectBlock implements block_selector() under the configured policy.
+// selectBlock implements block_selector() through the policy pipeline.
 // attempted blocks are skipped within one tick. Returns -1 when no
 // candidate exists.
 func (d *Daemon) selectBlock(attempted map[int]bool) int {
@@ -449,48 +452,48 @@ func (d *Daemon) selectBlock(attempted map[int]bool) int {
 		// The movable (off-linable) region is the TOP of memory.
 		firstEligible = int((d.installedBytes - d.cfg.OfflinableBytes) / d.hp.BlockBytes())
 	}
-	switch d.cfg.Policy {
-	case SelectRandom:
-		var candidates []int
-		for i := firstEligible; i < lastEligible; i++ {
-			if d.hp.State(i) == hotplug.BlockOnline && !attempted[i] {
-				candidates = append(candidates, i)
-			}
-		}
-		if len(candidates) == 0 {
-			return -1
-		}
-		return candidates[d.rng.Intn(len(candidates))]
-	case SelectRemovableFirst:
-		var removable, rest []int
-		for i := firstEligible; i < lastEligible; i++ {
-			if d.hp.State(i) != hotplug.BlockOnline || attempted[i] {
-				continue
-			}
-			if d.hp.Removable(i) {
-				removable = append(removable, i)
-			} else {
-				rest = append(rest, i)
-			}
-		}
-		if len(removable) > 0 {
-			return removable[d.rng.Intn(len(removable))]
-		}
-		if len(rest) > 0 {
-			return rest[d.rng.Intn(len(rest))]
-		}
-		return -1
-	default: // SelectFreeFirst
-		// Highest-addressed fully-free block: free memory pools at high
-		// addresses, and off-lining top-down completes whole sub-array
-		// groups fastest.
-		for i := lastEligible - 1; i >= firstEligible; i-- {
-			if d.hp.State(i) == hotplug.BlockOnline && !attempted[i] && d.hp.FullyFree(i) {
-				return i
-			}
-		}
-		return -1
+	v := &d.sel.view
+	v.First, v.Last = firstEligible, lastEligible
+	v.Attempted = attempted
+	v.HP = d.hp
+	v.RNG = d.rng
+	v.Tracker = d.sel.tracker
+	v.Now = d.eng.Now()
+	v.OfflinedAt = d.sel.offlinedAt
+	return d.sel.policy.PickVictim(v)
+}
+
+// PolicySpec reports the normalized policy pipeline the daemon runs.
+func (d *Daemon) PolicySpec() PolicySpec { return d.cfg.Policy }
+
+// AccessTap returns the per-page hook that feeds the tracker, or nil when
+// the configured policy reads no tracker (the paper policies). The hook
+// maps the page frame to its hotplug block and stamps the engine clock.
+func (d *Daemon) AccessTap() func(pfn kernel.PFN) {
+	if d.sel.tracker == nil {
+		return nil
 	}
+	pageBytes := d.mem.PageBytes()
+	blockBytes := d.hp.BlockBytes()
+	blocks := d.hp.Blocks()
+	tr := d.sel.tracker
+	return func(pfn kernel.PFN) {
+		b := int(int64(pfn) * pageBytes / blockBytes)
+		if b >= 0 && b < blocks {
+			tr.Observe(b, d.eng.Now())
+		}
+	}
+}
+
+// AttachKernelTap routes the kernel allocator's page events (allocations
+// and frees) into the tracker. No-op for trackerless policies; runs that
+// only drive footprint curves get block heat for free this way.
+func (d *Daemon) AttachKernelTap() {
+	tap := d.AccessTap()
+	if tap == nil {
+		return
+	}
+	d.mem.SetPageTap(func(pfn kernel.PFN, _ bool) { tap(pfn) })
 }
 
 // alphaBytes returns the adaptive reserve addition: twice the largest

@@ -190,7 +190,7 @@ func TestOfflinableRegionBound(t *testing.T) {
 
 func TestSelectionPolicies(t *testing.T) {
 	// Random picks used blocks -> failures; free-first never fails.
-	mkrig := func(policy SelectPolicy) *Daemon {
+	mkrig := func(policy PolicySpec) *Daemon {
 		eng := sim.NewEngine()
 		mem, err := kernel.New(kernel.Config{
 			TotalBytes: 1 << 30, PageBytes: pageSize,
@@ -220,8 +220,8 @@ func TestSelectionPolicies(t *testing.T) {
 		eng.RunUntil(3 * sim.Second)
 		return d
 	}
-	free := mkrig(SelectFreeFirst)
-	random := mkrig(SelectRandom)
+	free := mkrig(PolicySpec{Name: PolicyFreeFirst})
+	random := mkrig(PolicySpec{Name: PolicyRandom})
 	if f := free.Stats(); f.EBusyFailures+f.EAgainFailures != 0 {
 		t.Errorf("free-first policy failed %d times", f.EBusyFailures+f.EAgainFailures)
 	}
@@ -229,7 +229,7 @@ func TestSelectionPolicies(t *testing.T) {
 		t.Error("random policy never failed; unrealistic for used blocks")
 	}
 	// Fig. 8: removable-first fails less than random.
-	rem := mkrig(SelectRemovableFirst)
+	rem := mkrig(PolicySpec{Name: PolicyRemovableFirst})
 	rf := rem.Stats().EBusyFailures + rem.Stats().EAgainFailures
 	rnd := random.Stats().EBusyFailures + random.Stats().EAgainFailures
 	if rf >= rnd {
@@ -389,7 +389,7 @@ func TestMaxFailuresPerTickBoundsRetries(t *testing.T) {
 	}
 	ctrl := NewRegisterController(eng, 16)
 	d, err := New(eng, mem, hp, ctrl, Config{
-		Period: 100 * sim.Millisecond, Policy: SelectRandom,
+		Period: 100 * sim.Millisecond, Policy: PolicySpec{Name: PolicyRandom},
 		GroupBytes: 64 * oneMB, MaxFailuresPerTick: 2, Seed: 2,
 	})
 	if err != nil {

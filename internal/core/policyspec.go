@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registered policy names. The first three are the paper's block_selector
+// heuristics (§5.2, Fig. 8), re-implemented as pipeline policies; the
+// rest are tracker-driven policies in the style of Intel's memtierd.
+const (
+	PolicyFreeFirst      = "free-first"
+	PolicyRemovableFirst = "removable-first"
+	PolicyRandom         = "random"
+	PolicyAgeThreshold   = "age-threshold"
+	PolicyHeatTier       = "heat-tier"
+	PolicyHysteresis     = "hysteresis"
+	PolicyProactive      = "proactive-offline"
+)
+
+// Registered tracker names.
+const (
+	TrackerIdleAge     = "idle-age"
+	TrackerAccessCount = "access-count"
+)
+
+// PolicySpec is the serializable description of a block-selection
+// pipeline: a policy name, the tracker feeding it, and typed parameters.
+// It is the wire form of the daemon's `policy` field everywhere — JSON
+// job specs, -policy-config files, GET /v1/policies defaults.
+//
+// Two JSON forms parse: the structured object
+//
+//	{"name": "age-threshold", "tracker": "idle-age", "params": {"min_idle_s": 5}}
+//
+// and, for the three paper policies, the legacy bare string "free-first".
+// A canonical legacy spec (paper policy, no tracker, no params) marshals
+// BACK to the bare string, so job specs written either way produce
+// byte-identical normalized JSON — and therefore identical spec hashes.
+type PolicySpec struct {
+	Name    string             `json:"name"`
+	Tracker string             `json:"tracker,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+// IsZero reports a wholly unset spec (callers default it to free-first).
+func (s PolicySpec) IsZero() bool {
+	return s.Name == "" && s.Tracker == "" && len(s.Params) == 0
+}
+
+// legacyCanonical reports whether the spec is exactly one of the paper
+// policies in its default shape — the form that serializes as a bare
+// string for hash compatibility with the pre-pipeline enum.
+func (s PolicySpec) legacyCanonical() bool {
+	if s.Tracker != "" || len(s.Params) != 0 {
+		return false
+	}
+	switch s.Name {
+	case PolicyFreeFirst, PolicyRemovableFirst, PolicyRandom:
+		return true
+	}
+	return false
+}
+
+// specJSON is the object form, kept separate so PolicySpec's own
+// MarshalJSON can choose between string and object without recursing.
+type specJSON struct {
+	Name    string             `json:"name"`
+	Tracker string             `json:"tracker,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+// MarshalJSON emits the bare policy name for canonical legacy specs and
+// the structured object otherwise. encoding/json sorts the params map's
+// keys, so object output is deterministic too.
+func (s PolicySpec) MarshalJSON() ([]byte, error) {
+	if s.legacyCanonical() || s.IsZero() {
+		return json.Marshal(s.Name)
+	}
+	return json.Marshal(specJSON(s))
+}
+
+// UnmarshalJSON accepts both the bare-string and the object form. Object
+// keys are strict: an unknown field is a spec error, not a silent default.
+func (s *PolicySpec) UnmarshalJSON(b []byte) error {
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		*s = PolicySpec{Name: name}
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var obj specJSON
+	if err := dec.Decode(&obj); err != nil {
+		return fmt.Errorf("core: policy spec: %w", err)
+	}
+	*s = PolicySpec(obj)
+	return nil
+}
+
+// ParamSpec describes one typed policy or tracker parameter: its valid
+// range and the default that normalization makes explicit.
+type ParamSpec struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Unit    string  `json:"unit,omitempty"`
+	Help    string  `json:"help"`
+}
+
+// PolicyInfo is one registered policy's schema, served by /v1/policies.
+type PolicyInfo struct {
+	Name string `json:"name"`
+	Help string `json:"help"`
+	// DefaultTracker names the tracker the policy consumes when the spec
+	// leaves it unset; empty means the policy reads no tracker at all
+	// (the paper policies scan hotplug state directly).
+	DefaultTracker string      `json:"default_tracker,omitempty"`
+	Params         []ParamSpec `json:"params,omitempty"`
+}
+
+// TrackerInfo is one registered tracker's schema.
+type TrackerInfo struct {
+	Name   string      `json:"name"`
+	Help   string      `json:"help"`
+	Params []ParamSpec `json:"params,omitempty"`
+}
+
+// PolicyInfos lists every registered policy, sorted by name.
+func PolicyInfos() []PolicyInfo {
+	out := make([]PolicyInfo, 0, len(policyDefs))
+	for _, d := range policyDefs {
+		out = append(out, d.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TrackerInfos lists every registered tracker, sorted by name.
+func TrackerInfos() []TrackerInfo {
+	out := make([]TrackerInfo, 0, len(trackerDefs))
+	for _, d := range trackerDefs {
+		out = append(out, d.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Normalized validates the spec and returns it with every default made
+// explicit: an empty name becomes free-first, a tracker-driven policy
+// gets its default tracker, and the params map is completed with the
+// schema defaults for the (policy, tracker) pair. Equivalent specs
+// normalize equal, which is what makes them hash equal; invalid names,
+// unknown params and out-of-range values are rejected here — at spec
+// time, not daemon-construction time.
+func (s PolicySpec) Normalized() (PolicySpec, error) {
+	if s.Name == "" {
+		if s.Tracker != "" || len(s.Params) != 0 {
+			return s, fmt.Errorf("core: policy spec has tracker/params but no name")
+		}
+		s.Name = PolicyFreeFirst
+	}
+	pd, ok := policyDefByName(s.Name)
+	if !ok {
+		return s, fmt.Errorf("core: unknown policy %q (known: %s)", s.Name, strings.Join(policyNames(), ", "))
+	}
+	if pd.info.DefaultTracker == "" {
+		// Trackerless policies take no tracker and no params; rejecting
+		// rather than ignoring keeps equivalent specs from hashing apart.
+		if s.Tracker != "" {
+			return s, fmt.Errorf("core: policy %q reads no tracker (got %q)", s.Name, s.Tracker)
+		}
+		if len(s.Params) != 0 {
+			return s, fmt.Errorf("core: policy %q takes no params", s.Name)
+		}
+		return PolicySpec{Name: s.Name}, nil
+	}
+	if s.Tracker == "" {
+		s.Tracker = pd.info.DefaultTracker
+	}
+	td, ok := trackerDefByName(s.Tracker)
+	if !ok {
+		return s, fmt.Errorf("core: unknown tracker %q (known: %s)", s.Tracker, strings.Join(trackerNames(), ", "))
+	}
+	schema := append(append([]ParamSpec{}, pd.info.Params...), td.info.Params...)
+	params := make(map[string]float64, len(schema))
+	for _, p := range schema {
+		params[p.Name] = p.Default
+	}
+	for name, v := range s.Params {
+		spec, ok := findParam(schema, name)
+		if !ok {
+			return s, fmt.Errorf("core: policy %q/%q: unknown param %q (known: %s)",
+				s.Name, s.Tracker, name, strings.Join(paramNames(schema), ", "))
+		}
+		if v < spec.Min || v > spec.Max {
+			return s, fmt.Errorf("core: policy %q: param %q = %g out of [%g, %g]",
+				s.Name, name, v, spec.Min, spec.Max)
+		}
+		params[name] = v
+	}
+	if len(params) == 0 {
+		params = nil
+	}
+	return PolicySpec{Name: s.Name, Tracker: s.Tracker, Params: params}, nil
+}
+
+// Fingerprint renders the canonical compact form used in memo keys:
+// the bare name for legacy specs, name/tracker{k=v,...} otherwise.
+// Call on the normalized form.
+func (s PolicySpec) Fingerprint() string {
+	if s.legacyCanonical() {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('/')
+	b.WriteString(s.Tracker)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", k, s.Params[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// param returns the normalized spec's value for name. Call only on
+// normalized specs, whose params are complete; missing names panic
+// because they are construction bugs, not user errors.
+func (s PolicySpec) param(name string) float64 {
+	v, ok := s.Params[name]
+	if !ok {
+		panic(fmt.Sprintf("core: param %q missing from normalized spec %s", name, s.Fingerprint()))
+	}
+	return v
+}
+
+func findParam(schema []ParamSpec, name string) (ParamSpec, bool) {
+	for _, p := range schema {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+func paramNames(schema []ParamSpec) []string {
+	out := make([]string, len(schema))
+	for i, p := range schema {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func policyNames() []string {
+	out := make([]string, 0, len(policyDefs))
+	for _, d := range policyDefs {
+		out = append(out, d.info.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func trackerNames() []string {
+	out := make([]string, 0, len(trackerDefs))
+	for _, d := range trackerDefs {
+		out = append(out, d.info.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+
+	"greendimm/internal/sim"
+)
+
+// Tracker estimates per-block activity from the access stream the kernel
+// and workload layers produce (page allocations, frees and touches routed
+// through Daemon.AccessTap). Policies read trackers; they never write them.
+//
+// Determinism rules: trackers run on the single simulation goroutine and
+// may only derive state from (block, now) observation pairs delivered in
+// engine order — no wall clocks, no maps iterated for results, no RNG.
+// Identical runs then produce identical tracker state at every tick,
+// which is what keeps policy decisions — and therefore whole reports —
+// byte-identical across repeats and parallelism levels.
+type Tracker interface {
+	Name() string
+	// Observe records an access to block at simulation time now.
+	Observe(block int, now sim.Time)
+	// IdleAge returns how long the block has gone without an observed
+	// access. Blocks never observed age from tracker construction.
+	IdleAge(block int, now sim.Time) sim.Time
+	// Heat returns a non-negative activity estimate; hotter blocks score
+	// higher. Scales are tracker-specific — policies must only compare
+	// heats from the same tracker instance.
+	Heat(block int, now sim.Time) float64
+}
+
+// trackerDef binds a tracker's schema to its constructor. The spec passed
+// to build is normalized: every param present, every value in range.
+type trackerDef struct {
+	info  TrackerInfo
+	build func(spec PolicySpec, blocks int, start sim.Time) Tracker
+}
+
+var trackerDefs = []trackerDef{
+	{
+		info: TrackerInfo{
+			Name: TrackerIdleAge,
+			Help: "remembers each block's last access time; idle age is time since, heat is 1/(1+age_s)",
+		},
+		build: func(_ PolicySpec, blocks int, start sim.Time) Tracker {
+			return newIdleAgeTracker(blocks, start)
+		},
+	},
+	{
+		info: TrackerInfo{
+			Name: TrackerAccessCount,
+			Help: "exponentially-decayed access counter per block; heat is the decayed count",
+			Params: []ParamSpec{{
+				Name: "halflife_s", Default: 10, Min: 0.01, Max: 1e6, Unit: "s",
+				Help: "decay half-life of the per-block access counter",
+			}},
+		},
+		build: func(spec PolicySpec, blocks int, start sim.Time) Tracker {
+			return newAccessCountTracker(blocks, start, spec.param("halflife_s"))
+		},
+	},
+}
+
+func trackerDefByName(name string) (trackerDef, bool) {
+	for _, d := range trackerDefs {
+		if d.info.Name == name {
+			return d, true
+		}
+	}
+	return trackerDef{}, false
+}
+
+// idleAgeTracker keeps one timestamp per block.
+type idleAgeTracker struct {
+	last []sim.Time
+}
+
+func newIdleAgeTracker(blocks int, start sim.Time) *idleAgeTracker {
+	t := &idleAgeTracker{last: make([]sim.Time, blocks)}
+	for i := range t.last {
+		t.last[i] = start
+	}
+	return t
+}
+
+func (t *idleAgeTracker) Name() string { return TrackerIdleAge }
+
+func (t *idleAgeTracker) Observe(block int, now sim.Time) {
+	if block >= 0 && block < len(t.last) {
+		t.last[block] = now
+	}
+}
+
+func (t *idleAgeTracker) IdleAge(block int, now sim.Time) sim.Time {
+	age := now - t.last[block]
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+func (t *idleAgeTracker) Heat(block int, now sim.Time) float64 {
+	return 1 / (1 + t.IdleAge(block, now).Seconds())
+}
+
+// accessCountTracker keeps an exponentially-decayed access count per
+// block, decayed lazily at observe/read time so idle blocks cost nothing.
+type accessCountTracker struct {
+	halflife  float64 // seconds
+	count     []float64
+	decayedAt []sim.Time
+	lastTouch []sim.Time
+}
+
+func newAccessCountTracker(blocks int, start sim.Time, halflifeS float64) *accessCountTracker {
+	t := &accessCountTracker{
+		halflife:  halflifeS,
+		count:     make([]float64, blocks),
+		decayedAt: make([]sim.Time, blocks),
+		lastTouch: make([]sim.Time, blocks),
+	}
+	for i := 0; i < blocks; i++ {
+		t.decayedAt[i] = start
+		t.lastTouch[i] = start
+	}
+	return t
+}
+
+func (t *accessCountTracker) Name() string { return TrackerAccessCount }
+
+// decayed returns the block's count brought forward to now without
+// mutating state (reads must not change what later reads see).
+func (t *accessCountTracker) decayed(block int, now sim.Time) float64 {
+	dt := (now - t.decayedAt[block]).Seconds()
+	if dt <= 0 {
+		return t.count[block]
+	}
+	return t.count[block] * math.Exp2(-dt/t.halflife)
+}
+
+func (t *accessCountTracker) Observe(block int, now sim.Time) {
+	if block < 0 || block >= len(t.count) {
+		return
+	}
+	t.count[block] = t.decayed(block, now) + 1
+	t.decayedAt[block] = now
+	t.lastTouch[block] = now
+}
+
+func (t *accessCountTracker) IdleAge(block int, now sim.Time) sim.Time {
+	age := now - t.lastTouch[block]
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+func (t *accessCountTracker) Heat(block int, now sim.Time) float64 {
+	return t.decayed(block, now)
+}

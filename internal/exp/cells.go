@@ -173,6 +173,7 @@ var shardableIDs = map[string]bool{
 	"fig9": true, "fig10": true, "fig11": true, // energy matrix
 	"fig12": true, "fig13": true,
 	"tab3": true, "tail": true,
+	"polgrid": true, // policy-pipeline ablation grid
 }
 
 // Shardable reports whether the experiment id supports cell-range

@@ -46,7 +46,7 @@ type dynamicsConfig struct {
 	prof     workload.Profile
 	blockMB  int64
 	duration sim.Time
-	policy   core.SelectPolicy
+	policy   core.PolicySpec
 	// movableGB bounds off-lining to a movablecore=-style region at the
 	// top of memory (0: whole memory eligible).
 	movableGB int64
@@ -123,12 +123,18 @@ func runDynamics(cfg dynamicsConfig) (DynamicsRun, error) {
 	}
 	var stall sim.Time
 	daemon.SetStallSink(func(d sim.Time) { stall += d })
+	daemon.AttachKernelTap()
 
 	const owner = 50
 	fd, err := workload.NewFootprintDriver(eng, mem, cfg.prof, owner,
 		cfg.duration, 500*sim.Millisecond)
 	if err != nil {
 		return DynamicsRun{}, err
+	}
+	// Tracker-driven policies additionally see the application touch its
+	// resident set, not just allocate/free events (no-op otherwise).
+	if tap := daemon.AccessTap(); tap != nil {
+		fd.SetAccessTap(tap)
 	}
 	fd.Start()
 	daemon.Start()

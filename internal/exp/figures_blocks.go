@@ -22,7 +22,7 @@ func blockDynDefaults(prof workload.Profile, blockMB int64, opts Options) dynami
 		prof:      prof,
 		blockMB:   blockMB,
 		duration:  120 * sim.Second,
-		policy:    core.SelectFreeFirst,
+		policy:    core.PolicySpec{Name: core.PolicyFreeFirst},
 		movableGB: 4,
 		groupMB:   128,
 		seed:      opts.Seed + 31,
@@ -167,7 +167,7 @@ func RunTable3(opts Options) (Table3Result, error) {
 		cfg := blockDynDefaults(prof, 128, opts)
 		cfg.hooks = h
 		if i == 1 {
-			cfg.policy = core.SelectRandom
+			cfg.policy = core.PolicySpec{Name: core.PolicyRandom}
 			cfg.failProb = 0.9
 			cfg.leakEvery = 3
 		}
@@ -224,7 +224,7 @@ func RunFig8(opts Options) (Fig8Result, error) {
 	if err != nil {
 		return Fig8Result{}, err
 	}
-	policies := []core.SelectPolicy{core.SelectRandom, core.SelectRemovableFirst}
+	policies := []core.PolicySpec{{Name: core.PolicyRandom}, {Name: core.PolicyRemovableFirst}}
 	runs := make([]DynamicsRun, len(apps)*len(policies))
 	err = opts.sweepCells(len(runs), func(i int, h Hooks) error {
 		cfg := blockDynDefaults(apps[i/len(policies)], 128, opts)

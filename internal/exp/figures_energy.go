@@ -92,7 +92,7 @@ func energyRow(model *power.Model, sys power.SystemModel, prof workload.Profile,
 		prof:     dynProf,
 		blockMB:  1024,
 		duration: 120 * sim.Second, // cheap: no request-level simulation
-		policy:   core.SelectFreeFirst,
+		policy:   core.PolicySpec{Name: core.PolicyFreeFirst},
 		seed:     opts.Seed + 41,
 		hooks:    h,
 	})

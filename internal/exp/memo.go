@@ -65,8 +65,8 @@ func memoTiming(o Options, cfg timingConfig) (TimingRun, error) {
 
 // memoDynamics memoizes runDynamics by its full configuration.
 func memoDynamics(o Options, cfg dynamicsConfig) (DynamicsRun, error) {
-	key := fmt.Sprintf("dynamics|%s|block=%d|dur=%d|policy=%d|movable=%d|group=%d|fail=%g|leak=%d|seed=%d",
-		profFP(cfg.prof), cfg.blockMB, int64(cfg.duration), cfg.policy,
+	key := fmt.Sprintf("dynamics|%s|block=%d|dur=%d|policy=%s|movable=%d|group=%d|fail=%g|leak=%d|seed=%d",
+		profFP(cfg.prof), cfg.blockMB, int64(cfg.duration), cfg.policy.Fingerprint(),
 		cfg.movableGB, cfg.groupMB, cfg.failProb, cfg.leakEvery, cfg.seed)
 	return memoized(o, key, func() (DynamicsRun, error) { return runDynamics(cfg) })
 }

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"fmt"
+
+	"greendimm/internal/core"
+	"greendimm/internal/report"
+	"greendimm/internal/workload"
+)
+
+// This file is the policy-pipeline ablation the redesigned selection API
+// exists for: the tracker x policy x workload grid ("polgrid"). Every
+// cell is one footprint-dynamics run (the §5.2 setup behind Figs. 6-8)
+// under a different block-selection pipeline, flattened into a single
+// memoized sweep — so the grid shards across a cluster and resumes from
+// the durable store exactly like the paper figures do.
+
+// polGridPolicies returns the grid's policy axis, normalized: the paper
+// baseline plus every tracker-driven policy, with the dual-tracker
+// policies appearing once per tracker so the tracker choice itself is
+// ablated.
+func polGridPolicies() ([]core.PolicySpec, error) {
+	raw := []core.PolicySpec{
+		{Name: core.PolicyFreeFirst},
+		{Name: core.PolicyAgeThreshold, Tracker: core.TrackerIdleAge},
+		{Name: core.PolicyAgeThreshold, Tracker: core.TrackerAccessCount},
+		{Name: core.PolicyHeatTier, Tracker: core.TrackerAccessCount},
+		{Name: core.PolicyHysteresis, Tracker: core.TrackerIdleAge},
+		{Name: core.PolicyProactive, Tracker: core.TrackerIdleAge},
+	}
+	out := make([]core.PolicySpec, len(raw))
+	for i, s := range raw {
+		norm, err := s.Normalized()
+		if err != nil {
+			return nil, fmt.Errorf("exp: polgrid policy %d: %w", i, err)
+		}
+		out[i] = norm
+	}
+	return out, nil
+}
+
+// polGridApps returns the grid's workload axis: the high-, mid- and
+// low-MPKI corners of the §5.1 set.
+func polGridApps() ([]workload.Profile, error) {
+	names := []string{"429.mcf", "403.gcc", "470.lbm"}
+	out := make([]workload.Profile, len(names))
+	for i, n := range names {
+		p, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown profile %s", n)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// PolicyGridCell is one (policy, app) measurement.
+type PolicyGridCell struct {
+	Policy      string // normalized fingerprint
+	App         string
+	OfflinedGB  float64
+	OverheadPct float64
+	OnOffEvents int64
+	Failures    int64
+}
+
+// PolicyGridResult is the full ablation grid in row-major (policy, app)
+// order.
+type PolicyGridResult struct {
+	Apps  []string
+	Cells []PolicyGridCell
+}
+
+// RunPolicyGrid sweeps the tracker x policy x workload grid: each cell
+// plays one application's footprint curve under one selection pipeline
+// on the §5.2 machine (128MB blocks, movablecore=4G, migration failures
+// and kernel-page leaks enabled so policy quality shows up as failure
+// counts, not just capacity).
+func RunPolicyGrid(opts Options) (PolicyGridResult, error) {
+	policies, err := polGridPolicies()
+	if err != nil {
+		return PolicyGridResult{}, err
+	}
+	apps, err := polGridApps()
+	if err != nil {
+		return PolicyGridResult{}, err
+	}
+	res := PolicyGridResult{Cells: make([]PolicyGridCell, len(policies)*len(apps))}
+	for _, p := range apps {
+		res.Apps = append(res.Apps, p.Name)
+	}
+	err = opts.sweepCells(len(res.Cells), func(i int, h Hooks) error {
+		policy, prof := policies[i/len(apps)], apps[i%len(apps)]
+		cfg := blockDynDefaults(prof, 128, opts)
+		cfg.hooks = h
+		cfg.policy = policy
+		cfg.failProb = 0.9
+		cfg.leakEvery = 3
+		run, err := memoDynamics(opts, cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", policy.Fingerprint(), prof.Name, err)
+		}
+		res.Cells[i] = PolicyGridCell{
+			Policy:      policy.Fingerprint(),
+			App:         prof.Name,
+			OfflinedGB:  run.OfflinedAvgBytes / float64(1<<30),
+			OverheadPct: run.OverheadFrac * 100,
+			OnOffEvents: run.OnOffEvents,
+			Failures:    run.EBusyFailures + run.EAgainFailures,
+		}
+		return nil
+	})
+	if err != nil {
+		return PolicyGridResult{}, err
+	}
+	return res, nil
+}
+
+// row collects one policy's cells across the app axis.
+func (r PolicyGridResult) row(policy string) []PolicyGridCell {
+	var out []PolicyGridCell
+	for _, c := range r.Cells {
+		if c.Policy == policy {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// policies lists the distinct policy fingerprints in row order.
+func (r PolicyGridResult) policies() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Policy] {
+			seen[c.Policy] = true
+			out = append(out, c.Policy)
+		}
+	}
+	return out
+}
+
+// grid renders one metric across the whole grid.
+func (r PolicyGridResult) grid(title string, metric func(PolicyGridCell) float64) *report.Table {
+	t := report.NewTable(title, r.Apps...)
+	for _, p := range r.policies() {
+		cells := r.row(p)
+		vals := make([]float64, len(cells))
+		for i, c := range cells {
+			vals[i] = metric(c)
+		}
+		t.AddRow(p, vals...)
+	}
+	return t
+}
+
+// OfflinedTable renders time-averaged off-lined capacity per cell.
+func (r PolicyGridResult) OfflinedTable() *report.Table {
+	return r.grid("Policy grid: off-lined capacity (GB, time-averaged)",
+		func(c PolicyGridCell) float64 { return c.OfflinedGB })
+}
+
+// FailureTable renders off-lining failures per cell.
+func (r PolicyGridResult) FailureTable() *report.Table {
+	return r.grid("Policy grid: off-lining failures (EBUSY+EAGAIN)",
+		func(c PolicyGridCell) float64 { return float64(c.Failures) })
+}
+
+// ChurnTable renders steady-state on/off events per cell.
+func (r PolicyGridResult) ChurnTable() *report.Table {
+	return r.grid("Policy grid: steady-state on/off-lining events",
+		func(c PolicyGridCell) float64 { return float64(c.OnOffEvents) })
+}
+
+// OverheadTable renders the execution-time increase per cell.
+func (r PolicyGridResult) OverheadTable() *report.Table {
+	return r.grid("Policy grid: execution-time increase (%)",
+		func(c PolicyGridCell) float64 { return c.OverheadPct })
+}

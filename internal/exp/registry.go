@@ -117,6 +117,13 @@ func Registry() map[string]Runner {
 			}
 			return []*report.Table{r.Table()}, nil, nil
 		},
+		"polgrid": func(o Options) ([]*report.Table, []report.Series, error) {
+			r, err := RunPolicyGrid(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []*report.Table{r.OfflinedTable(), r.FailureTable(), r.ChurnTable(), r.OverheadTable()}, nil, nil
+		},
 	}
 }
 
@@ -156,5 +163,5 @@ func KnownExperiments() []string {
 // all" iterates: one id per underlying run.
 func CanonicalExperiments() []string {
 	return []string{"fig1", "fig2", "fig3", "fig6", "fig8", "fig9", "fig12", "fig13",
-		"tab1", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr"}
+		"tab1", "tab3", "ablations", "tail", "ramzzz", "hwcost", "swapthr", "polgrid"}
 }

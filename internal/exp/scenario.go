@@ -47,14 +47,19 @@ type VMScenario struct {
 	PageVolatility      float64 `json:"page_volatility,omitempty"`
 
 	// GreenDIMM daemon knobs (core.Config; zero takes paper defaults).
-	BlockMB           int     `json:"block_mb,omitempty"`
-	PeriodMS          float64 `json:"period_ms,omitempty"`
-	OffThr            float64 `json:"off_thr,omitempty"`
-	OnThr             float64 `json:"on_thr,omitempty"`
-	Policy            string  `json:"policy,omitempty"`
-	MaxOfflinePerTick int     `json:"max_offline_per_tick,omitempty"`
-	NeighborRule      bool    `json:"neighbor_rule,omitempty"`
-	AdaptiveAlpha     bool    `json:"adaptive_alpha,omitempty"`
+	BlockMB  int     `json:"block_mb,omitempty"`
+	PeriodMS float64 `json:"period_ms,omitempty"`
+	OffThr   float64 `json:"off_thr,omitempty"`
+	OnThr    float64 `json:"on_thr,omitempty"`
+	// Policy selects the block-selection pipeline. Accepts both the
+	// legacy bare string ("free-first") and the structured object
+	// ({"name": ..., "tracker": ..., "params": {...}}); canonical legacy
+	// specs marshal back to the bare string, so pre-pipeline job specs
+	// keep their exact spec hashes.
+	Policy            core.PolicySpec `json:"policy,omitempty"`
+	MaxOfflinePerTick int             `json:"max_offline_per_tick,omitempty"`
+	NeighborRule      bool            `json:"neighbor_rule,omitempty"`
+	AdaptiveAlpha     bool            `json:"adaptive_alpha,omitempty"`
 
 	// horizonOverride lets in-process callers (runVMDay) pass an exact
 	// sim.Time horizon, sidestepping the float hours round trip. Not
@@ -109,8 +114,11 @@ func (s VMScenario) Normalized() VMScenario {
 	if s.MaxOfflinePerTick == 0 {
 		s.MaxOfflinePerTick = 8
 	}
-	if s.Policy == "" {
-		s.Policy = core.SelectFreeFirst.String()
+	// Policy normalization can fail (unknown names, bad params);
+	// Normalized stays error-free by leaving invalid specs untouched for
+	// Validate to report.
+	if norm, err := s.Policy.Normalized(); err == nil {
+		s.Policy = norm
 	}
 	return s
 }
@@ -133,11 +141,24 @@ func (s VMScenario) Validate() error {
 	if s.PeriodMS <= 0 {
 		return fmt.Errorf("exp: period_ms %g must be positive", s.PeriodMS)
 	}
-	if _, err := core.ParseSelectPolicy(s.Policy); err != nil {
+	if _, err := s.Policy.Normalized(); err != nil {
 		return err
 	}
 	if s.OffThr < 0 || s.OffThr > 1 || s.OnThr < 0 || s.OnThr > 1 {
 		return fmt.Errorf("exp: off_thr/on_thr must be fractions in [0,1]")
+	}
+	// The daemon applies paper defaults to zero thresholds; checking the
+	// effective values here keeps an inverted band from surfacing as a
+	// failed job deep inside the run.
+	effOff, effOn := s.OffThr, s.OnThr
+	if effOff == 0 {
+		effOff = 0.10
+	}
+	if effOn == 0 {
+		effOn = 0.05
+	}
+	if effOn >= effOff {
+		return fmt.Errorf("exp: effective on_thr %g must be below off_thr %g", effOn, effOff)
 	}
 	if s.HostCores <= 0 || s.NumVMTypes <= 0 || s.Images <= 0 {
 		return fmt.Errorf("exp: host_cores, num_vm_types and images must be positive")
@@ -169,10 +190,6 @@ func RunVMScenario(spec VMScenario, hooks Hooks) (VMDayResult, error) {
 		return VMDayResult{}, err
 	}
 	org, err := dram.OrgWithCapacity(s.CapacityGB)
-	if err != nil {
-		return VMDayResult{}, err
-	}
-	policy, err := core.ParseSelectPolicy(s.Policy)
 	if err != nil {
 		return VMDayResult{}, err
 	}
@@ -215,7 +232,7 @@ func RunVMScenario(spec VMScenario, hooks Hooks) (VMDayResult, error) {
 			Period:            sim.Time(s.PeriodMS * float64(sim.Millisecond)),
 			OffThr:            s.OffThr,
 			OnThr:             s.OnThr,
-			Policy:            policy,
+			Policy:            s.Policy,
 			AdaptiveAlpha:     s.AdaptiveAlpha,
 			NeighborRule:      s.NeighborRule,
 			GroupBytes:        blockBytes,
@@ -225,6 +242,7 @@ func RunVMScenario(spec VMScenario, hooks Hooks) (VMDayResult, error) {
 		if err != nil {
 			return VMDayResult{}, err
 		}
+		daemon.AttachKernelTap()
 		daemon.Start()
 		if ksmd != nil {
 			// §5.3 optimization: react right after each merge pass.

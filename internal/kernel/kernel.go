@@ -103,6 +103,7 @@ type Mem struct {
 	usedPages   int64 // movable + unmovable
 	migrations  int64
 	onMigrate   []func(src, dst PFN)
+	pageTap     func(pfn PFN, alloc bool)
 	migrateCost sim.Time // accumulated modelled migration work
 
 	// Swap state (see swap.go).
@@ -228,6 +229,12 @@ func (m *Mem) OnMigrate(fn func(src, dst PFN)) {
 	m.onMigrate = append(m.onMigrate, fn)
 }
 
+// SetPageTap registers the per-page event hook: called with (pfn, true)
+// when a page is allocated and (pfn, false) when it is released. This is
+// the access stream GreenDIMM's block-activity trackers consume. One tap
+// only — last registration wins; nil removes it.
+func (m *Mem) SetPageTap(fn func(pfn PFN, alloc bool)) { m.pageTap = fn }
+
 // zoneFor returns the zone owning pfn.
 func (m *Mem) zoneFor(pfn PFN) *buddy {
 	if m.movable != nil && pfn >= m.movStart {
@@ -247,6 +254,9 @@ func (m *Mem) setAllocated(pfn PFN, movableAlloc bool, owner uint32) {
 	m.posInOwner[pfn] = int32(len(lst))
 	m.ownerPages[owner] = append(lst, pfn)
 	m.usedPages++
+	if m.pageTap != nil {
+		m.pageTap(pfn, true)
+	}
 }
 
 // clearAllocated removes owner bookkeeping; the caller decides the next
@@ -260,6 +270,9 @@ func (m *Mem) clearAllocated(pfn PFN) {
 	m.posInOwner[last] = pos
 	m.ownerPages[owner] = lst[:len(lst)-1]
 	m.usedPages--
+	if m.pageTap != nil {
+		m.pageTap(pfn, false)
+	}
 }
 
 // AllocPages allocates n pages for owner, movable or unmovable, returning

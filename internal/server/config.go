@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"greendimm/internal/core"
+	"greendimm/internal/exp"
+)
+
+// PolicyConfig is the operator-facing JSON policy configuration file
+// (memtierd-style, see `-policy-config` on both binaries):
+//
+//	{
+//	  "policy": {"name": "age-threshold", "params": {"min_idle_s": 5}},
+//	  "scenario": {"greendimm": true, "hours": 0.5}
+//	}
+//
+// The policy field takes either wire form (bare legacy string or
+// structured object). The one-shot greendimm CLI wraps the policy in the
+// scenario (a §6.3 VM-server day, defaults when omitted) and runs it;
+// greendimmd installs it as Config.DefaultPolicy, the pipeline applied
+// to vmserver jobs that omit their own.
+type PolicyConfig struct {
+	Policy core.PolicySpec `json:"policy"`
+	// Scenario optionally overrides the VM-server day the one-shot CLI
+	// runs the policy on. Its own policy field must be left unset — the
+	// pipeline is configured once, at the top level.
+	Scenario *exp.VMScenario `json:"scenario,omitempty"`
+}
+
+// ParsePolicyConfig strictly decodes and validates a policy config:
+// unknown fields, unknown policies/trackers/params and out-of-range
+// values are all rejected here — at parse time, with the same messages
+// job-spec validation produces — never deep inside a run. The returned
+// config carries the normalized policy (every default explicit).
+func ParsePolicyConfig(data []byte) (PolicyConfig, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c PolicyConfig
+	if err := dec.Decode(&c); err != nil {
+		return PolicyConfig{}, fmt.Errorf("server: policy config: %w", err)
+	}
+	if dec.More() {
+		return PolicyConfig{}, errors.New("server: policy config: trailing data after the config object")
+	}
+	norm, err := c.Policy.Normalized()
+	if err != nil {
+		return PolicyConfig{}, fmt.Errorf("server: policy config: %w", err)
+	}
+	c.Policy = norm
+	if c.Scenario != nil {
+		if !c.Scenario.Policy.IsZero() {
+			return PolicyConfig{}, errors.New("server: policy config: set the policy at the top level, not inside the scenario")
+		}
+		sc := *c.Scenario
+		sc.Policy = c.Policy
+		if err := sc.Normalized().Validate(); err != nil {
+			return PolicyConfig{}, fmt.Errorf("server: policy config scenario: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// LoadPolicyConfig reads and parses the file at path.
+func LoadPolicyConfig(path string) (PolicyConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return PolicyConfig{}, fmt.Errorf("server: policy config: %w", err)
+	}
+	return ParsePolicyConfig(data)
+}
+
+// JobSpec wraps the config into the one-shot job the greendimm CLI
+// submits: the configured scenario (or a GreenDIMM-on default day)
+// running the configured policy.
+func (c PolicyConfig) JobSpec() JobSpec {
+	sc := exp.VMScenario{GreenDIMM: true}
+	if c.Scenario != nil {
+		sc = *c.Scenario
+	}
+	sc.Policy = c.Policy
+	return JobSpec{Kind: KindVMServer, VMServer: &sc}
+}

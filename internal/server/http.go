@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"greendimm/internal/core"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -22,6 +24,9 @@ import (
 //	                            timeout
 //	GET    /v1/jobs/{id}/trace  the job's lifecycle trace (obs.TraceView)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/policies         registered block-selection policies and
+//	                            trackers (schemas, defaults) plus this
+//	                            daemon's default policy
 //	GET    /healthz             liveness + drain state
 //	GET    /metrics             Prometheus text format
 //
@@ -36,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -204,6 +210,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// PoliciesView is the GET /v1/policies payload: every registered
+// policy and tracker with its parameter schema (names, defaults, valid
+// ranges), plus the default policy this daemon applies to vmserver jobs
+// that omit one. Clients build valid structured policy objects from the
+// schemas instead of guessing parameter names.
+type PoliciesView struct {
+	Default  core.PolicySpec    `json:"default"`
+	Policies []core.PolicyInfo  `json:"policies"`
+	Trackers []core.TrackerInfo `json:"trackers"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	def := core.PolicySpec{Name: core.PolicyFreeFirst}
+	if s.cfg.DefaultPolicy != nil {
+		def = *s.cfg.DefaultPolicy
+	}
+	writeJSON(w, http.StatusOK, PoliciesView{
+		Default:  def,
+		Policies: core.PolicyInfos(),
+		Trackers: core.TrackerInfos(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

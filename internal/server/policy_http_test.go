@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"greendimm/internal/core"
+	"greendimm/internal/exp"
+)
+
+// TestHTTPPoliciesEndpoint exercises GET /v1/policies end to end: the
+// schema listing must cover every registered policy and tracker with
+// parameter ranges, and the default must reflect the daemon's
+// configuration in policy wire form.
+func TestHTTPPoliciesEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1,
+		Runner: func(JobSpec, RunHooks) (*Result, error) { return &Result{}, nil }})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/policies = %d, want 200", resp.StatusCode)
+	}
+	var v PoliciesView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Default.Name != core.PolicyFreeFirst {
+		t.Errorf("default policy = %+v, want free-first", v.Default)
+	}
+	if len(v.Policies) != 7 {
+		t.Errorf("listed %d policies, want all 7", len(v.Policies))
+	}
+	if len(v.Trackers) != 2 {
+		t.Errorf("listed %d trackers, want both", len(v.Trackers))
+	}
+	byName := map[string]core.PolicyInfo{}
+	for _, p := range v.Policies {
+		byName[p.Name] = p
+	}
+	at, ok := byName[core.PolicyAgeThreshold]
+	if !ok || at.DefaultTracker != core.TrackerIdleAge || len(at.Params) == 0 {
+		t.Errorf("age-threshold schema incomplete: %+v", at)
+	}
+	if len(at.Params) > 0 && (at.Params[0].Name != "min_idle_s" || at.Params[0].Default != 5) {
+		t.Errorf("age-threshold param schema = %+v", at.Params)
+	}
+}
+
+// TestHTTPConfiguredDefaultPolicy proves the -policy-config default is
+// part of a job's identity: a vmserver spec that omits its policy runs
+// (and hashes) as the configured pipeline, a spec naming a policy is
+// untouched, and /v1/policies reports the configured default.
+func TestHTTPConfiguredDefaultPolicy(t *testing.T) {
+	var got []core.PolicySpec
+	def := core.PolicySpec{Name: core.PolicyAgeThreshold, Params: map[string]float64{"min_idle_s": 3}}
+	s := New(Config{Workers: 1, QueueDepth: 8, DefaultPolicy: &def,
+		Runner: func(spec JobSpec, _ RunHooks) (*Result, error) {
+			got = append(got, spec.VMServer.Policy)
+			return &Result{}, nil
+		}})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The daemon reports its configured default, normalized.
+	resp, err := http.Get(ts.URL + "/v1/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pv PoliciesView
+	if err := json.NewDecoder(resp.Body).Decode(&pv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pv.Default.Name != core.PolicyAgeThreshold || pv.Default.Tracker != core.TrackerIdleAge ||
+		pv.Default.Params["min_idle_s"] != 3 {
+		t.Errorf("reported default = %+v, want normalized age-threshold", pv.Default)
+	}
+
+	submit := func(body string) JobView {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v JobView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	v1 := submit(`{"kind":"vmserver","vmserver":{"greendimm":true,"hours":0.01}}`)
+	v2 := submit(`{"kind":"vmserver","vmserver":{"greendimm":true,"hours":0.01,"policy":"removable-first"}}`)
+	getJob(t, ts, v1.ID, "?wait=30s")
+	getJob(t, ts, v2.ID, "?wait=30s")
+	if len(got) != 2 {
+		t.Fatalf("runner saw %d jobs, want 2", len(got))
+	}
+	if got[0].Name != core.PolicyAgeThreshold || got[0].Params["min_idle_s"] != 3 {
+		t.Errorf("omitted policy ran as %+v, want the configured default", got[0])
+	}
+	if got[1].Name != core.PolicyRemovableFirst {
+		t.Errorf("explicit policy overridden: ran as %+v", got[1])
+	}
+
+	// The filled default is part of the hash: a bare spec must hash as
+	// the default-policy job, not as free-first — and the caller's spec
+	// must not be mutated in the process.
+	bare := JobSpec{Kind: KindVMServer, VMServer: &exp.VMScenario{GreenDIMM: true, Hours: 0.01}}
+	filled := s.applyDefaultPolicy(bare)
+	if !bare.VMServer.Policy.IsZero() {
+		t.Error("applyDefaultPolicy mutated the caller's scenario")
+	}
+	hFilled, err := SpecHash(filled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hExplicit, err := SpecHash(JobSpec{Kind: KindVMServer,
+		VMServer: &exp.VMScenario{GreenDIMM: true, Hours: 0.01, Policy: def}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBare, err := SpecHash(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hFilled != hExplicit {
+		t.Errorf("default-filled spec hashes apart from the explicit one: %s vs %s", hFilled, hExplicit)
+	}
+	if hFilled == hBare {
+		t.Error("configured default did not enter the job identity (hash equals the free-first job)")
+	}
+}
+
+// TestHTTPInvalidPolicy400 holds the validation satellite to its
+// contract end to end: a structurally valid spec with bad policy params
+// must come back as a machine-coded 400 at submit time — the error
+// surfaces before any simulation runs, not deep inside one.
+func TestHTTPInvalidPolicy400(t *testing.T) {
+	ran := 0
+	s := New(Config{Workers: 1, QueueDepth: 4,
+		Runner: func(JobSpec, RunHooks) (*Result, error) { ran++; return &Result{}, nil }})
+	defer shutdown(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{"kind":"vmserver","vmserver":{"greendimm":true,"policy":"bogus"}}`,
+		`{"kind":"vmserver","vmserver":{"greendimm":true,"policy":{"name":"age-threshold","params":{"nope":1}}}}`,
+		`{"kind":"vmserver","vmserver":{"greendimm":true,"policy":{"name":"heat-tier","params":{"tiers":1000}}}}`,
+		`{"kind":"vmserver","vmserver":{"greendimm":true,"policy":{"name":"free-first","tracker":"idle-age"}}}`,
+		`{"kind":"vmserver","vmserver":{"greendimm":true,"policy":{"name":"random","oops":true}}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("body %s: decoding error envelope: %v", body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s → %d, want 400", body, resp.StatusCode)
+		}
+		if env.Error.Code != CodeInvalidSpec {
+			t.Errorf("body %s → code %q, want %q", body, env.Error.Code, CodeInvalidSpec)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("body %s → empty error message", body)
+		}
+	}
+	if ran != 0 {
+		t.Errorf("invalid specs reached the runner %d times", ran)
+	}
+}
+
+// TestParsePolicyConfig covers the -policy-config file format: both
+// policy wire forms, scenario embedding, and rejection of unknown
+// fields, bad params and a policy hidden inside the scenario.
+func TestParsePolicyConfig(t *testing.T) {
+	pc, err := ParsePolicyConfig([]byte(`{"policy":{"name":"hysteresis","params":{"hold_s":30}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Policy.Name != core.PolicyHysteresis || pc.Policy.Params["hold_s"] != 30 ||
+		pc.Policy.Tracker != core.TrackerIdleAge {
+		t.Errorf("parsed policy = %+v, want normalized hysteresis", pc.Policy)
+	}
+	// The bare legacy string parses too, and the empty config is the
+	// paper default.
+	if pc, err = ParsePolicyConfig([]byte(`{"policy":"random"}`)); err != nil || pc.Policy.Name != core.PolicyRandom {
+		t.Errorf("legacy string form: %v, %+v", err, pc.Policy)
+	}
+	if pc, err = ParsePolicyConfig([]byte(`{}`)); err != nil || pc.Policy.Name != core.PolicyFreeFirst {
+		t.Errorf("empty config: %v, %+v", err, pc.Policy)
+	}
+	// With a scenario, JobSpec() wraps it and injects the policy.
+	pc, err = ParsePolicyConfig([]byte(`{"policy":"free-first","scenario":{"greendimm":true,"ksm":true,"hours":0.5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pc.JobSpec()
+	if spec.Kind != KindVMServer || !spec.VMServer.KSM || spec.VMServer.Hours != 0.5 ||
+		spec.VMServer.Policy.Name != core.PolicyFreeFirst {
+		t.Errorf("JobSpec() = %+v", spec)
+	}
+	if _, err := spec.Normalize(); err != nil {
+		t.Errorf("config-built spec does not validate: %v", err)
+	}
+
+	bad := []string{
+		`{"policy":"bogus"}`,
+		`{"policy":{"name":"age-threshold","params":{"min_idle_s":-1}}}`,
+		`{"policy":"free-first","oops":1}`,                                               // unknown top-level field
+		`{"policy":"free-first","scenario":{"policy":"random"}}`,                         // policy belongs at the top level
+		`{"policy":"free-first","scenario":{"capacity_gb":100}}`,                         // invalid scenario caught at parse time
+		`{"policy":"free-first"} trailing`,                                               // trailing garbage
+		`{"policy":{"name":"heat-tier","tracker":"idle-age","params":{"halflife_s":1}}}`, // param of unselected tracker
+	}
+	for _, raw := range bad {
+		if _, err := ParsePolicyConfig([]byte(raw)); err == nil {
+			t.Errorf("config %s parsed without error", raw)
+		}
+	}
+}
+
+// FuzzPolicyConfigParse probes the config parser: it must never panic,
+// and every accepted config must be stable — its own JSON output parses
+// back to the same normalized policy, and normalization is idempotent.
+func FuzzPolicyConfigParse(f *testing.F) {
+	f.Add([]byte(`{"policy":"free-first"}`))
+	f.Add([]byte(`{"policy":{"name":"age-threshold","params":{"min_idle_s":3}}}`))
+	f.Add([]byte(`{"policy":{"name":"heat-tier","tracker":"access-count"},"scenario":{"greendimm":true,"hours":0.1}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"policy":{"name":"bogus"}}`))
+	f.Add([]byte(`{"policy":"removable-first","scenario":{"ksm":true}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParsePolicyConfig(data)
+		if err != nil {
+			return
+		}
+		again, err := c.Policy.Normalized()
+		if err != nil {
+			t.Fatalf("accepted policy %+v fails re-normalization: %v", c.Policy, err)
+		}
+		if again.Fingerprint() != c.Policy.Fingerprint() {
+			t.Fatalf("normalization not idempotent: %s vs %s", again.Fingerprint(), c.Policy.Fingerprint())
+		}
+		wire, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshaling accepted config %+v: %v", c, err)
+		}
+		c2, err := ParsePolicyConfig(wire)
+		if err != nil {
+			t.Fatalf("re-parsing own output %s: %v", wire, err)
+		}
+		if c2.Policy.Fingerprint() != c.Policy.Fingerprint() {
+			t.Fatalf("round trip changed the policy: %s vs %s", c2.Policy.Fingerprint(), c.Policy.Fingerprint())
+		}
+		// A parseable config always yields a submittable job spec.
+		if _, err := SpecHash(c.JobSpec()); err != nil {
+			t.Fatalf("JobSpec() of accepted config %s does not hash: %v", wire, err)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"greendimm/internal/core"
 	"greendimm/internal/exp"
 	"greendimm/internal/metrics"
 	"greendimm/internal/obs"
@@ -27,6 +28,21 @@ var (
 	// ErrDraining means the server is shutting down and accepts no work.
 	ErrDraining = errors.New("server: shutting down")
 )
+
+// applyDefaultPolicy fills a vmserver spec's omitted policy with the
+// configured default (Config.DefaultPolicy). It runs before
+// normalization, so jobs submitted without a policy hash — and journal,
+// and cache — as jobs FOR the default policy. The scenario is copied,
+// never mutated: the caller's spec stays as written.
+func (s *Server) applyDefaultPolicy(spec JobSpec) JobSpec {
+	if s.cfg.DefaultPolicy == nil || spec.VMServer == nil || !spec.VMServer.Policy.IsZero() {
+		return spec
+	}
+	sc := *spec.VMServer
+	sc.Policy = *s.cfg.DefaultPolicy
+	spec.VMServer = &sc
+	return spec
+}
 
 // InvalidSpecError reports a spec that failed validation.
 type InvalidSpecError struct{ Err error }
@@ -94,6 +110,15 @@ type Config struct {
 	// obs.DefaultCapacity). Spans beyond it are counted as dropped, not
 	// stored.
 	TraceCapacity int
+
+	// DefaultPolicy, when non-nil, is the block-selection pipeline
+	// applied to vmserver specs that omit their policy field — the
+	// operator's `-policy-config` default. It is filled in BEFORE
+	// normalization, so the default is part of the job's identity (its
+	// spec hash), not a hidden runtime knob: the same spec submitted to
+	// daemons with different defaults is different jobs. Specs that name
+	// a policy are untouched. Open validates it.
+	DefaultPolicy *core.PolicySpec
 
 	// StoreDir, when non-empty, enables the durable job store
 	// (internal/store) in that directory: accepted jobs, their completed
@@ -306,6 +331,13 @@ func New(cfg Config) *Server {
 // Recovered, before the first worker starts. Call Shutdown to stop.
 func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.DefaultPolicy != nil {
+		norm, err := cfg.DefaultPolicy.Normalized()
+		if err != nil {
+			return nil, fmt.Errorf("server: default policy: %w", err)
+		}
+		cfg.DefaultPolicy = &norm
+	}
 	var st *store.Store
 	var pending []store.Record
 	if cfg.StoreDir != "" {
@@ -394,6 +426,7 @@ func (s *Server) recoverJob(rec store.Record) {
 // from the cache, "queued" otherwise. Errors: *InvalidSpecError,
 // ErrQueueFull, ErrDraining.
 func (s *Server) Submit(spec JobSpec) (JobView, error) {
+	spec = s.applyDefaultPolicy(spec)
 	norm, err := spec.normalized()
 	if err == nil {
 		_, err = norm.hash()

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"encoding/json"
 	"testing"
 
+	"greendimm/internal/core"
 	"greendimm/internal/exp"
 )
 
@@ -50,6 +52,28 @@ func TestSpecHashGolden(t *testing.T) {
 			},
 			want: "f1261375306586c2d8e264d5404f66d4559a742e0c35ccb3d1d3b2acce052b5d",
 		},
+		// The two legacy-policy pins were captured BEFORE the policy
+		// pipeline replaced the SelectPolicy enum: a bare policy string in
+		// a job spec must keep its pre-pipeline hash, or every journaled
+		// legacy job goes cold.
+		{
+			name: "vmserver legacy removable-first",
+			spec: JobSpec{
+				Kind: KindVMServer,
+				VMServer: &exp.VMScenario{CapacityGB: 64, Hours: 0.05, GreenDIMM: true, Seed: 5,
+					Policy: core.PolicySpec{Name: core.PolicyRemovableFirst}},
+			},
+			want: "87c3bfb89de389a1f54ef0140f0ad4944aeb2405e0b3b4fe5cfbb76482006ecf",
+		},
+		{
+			name: "vmserver legacy random with ksm",
+			spec: JobSpec{
+				Kind: KindVMServer,
+				VMServer: &exp.VMScenario{KSM: true, GreenDIMM: true, Hours: 0.25, Seed: 1,
+					Policy: core.PolicySpec{Name: core.PolicyRandom}},
+			},
+			want: "933115ea7812008e4e7730dc0c838d8deea403c8326a15cd4828979c99d8f8c8",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -84,5 +108,61 @@ func TestSpecHashGolden(t *testing.T) {
 	hs, _ := SpecHash(JobSpec{Kind: KindExperiment, Experiment: &ExperimentSpec{ID: "fig8", Seed: 1}})
 	if hd != hs {
 		t.Fatalf("seed default did not normalize: %s vs %s", hd, hs)
+	}
+}
+
+// TestSpecHashPolicyForms proves the redesigned policy field is
+// wire-compatible: the legacy bare string, the equivalent structured
+// object, and the zero (omitted) field all normalize to one spec hash.
+func TestSpecHashPolicyForms(t *testing.T) {
+	parse := func(raw string) JobSpec {
+		t.Helper()
+		var s JobSpec
+		if err := json.Unmarshal([]byte(raw), &s); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		return s
+	}
+	legacy := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,"policy":"removable-first"}}`)
+	object := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,"policy":{"name":"removable-first"}}}`)
+	hLegacy, err := SpecHash(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hObject, err := SpecHash(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hLegacy != hObject {
+		t.Fatalf("string and object policy forms hash apart: %s vs %s", hLegacy, hObject)
+	}
+
+	// Omitted policy == explicit free-first (string or object form).
+	omitted := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false}}`)
+	explicit := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,"policy":"free-first"}}`)
+	hOmitted, _ := SpecHash(omitted)
+	hExplicit, _ := SpecHash(explicit)
+	if hOmitted != hExplicit {
+		t.Fatalf("omitted policy hashes apart from explicit free-first: %s vs %s", hOmitted, hExplicit)
+	}
+
+	// Tracker-backed specs: defaulted and fully spelled params are one
+	// job; a changed param value is a different job.
+	sparse := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,"policy":{"name":"age-threshold"}}}`)
+	spelled := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,` +
+		`"policy":{"name":"age-threshold","tracker":"idle-age","params":{"min_idle_s":5}}}}`)
+	changed := parse(`{"kind":"vmserver","vmserver":{"greendimm":true,"ksm":false,` +
+		`"policy":{"name":"age-threshold","params":{"min_idle_s":9}}}}`)
+	hSparse, err := SpecHash(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSpelled, _ := SpecHash(spelled)
+	hChanged, _ := SpecHash(changed)
+	if hSparse != hSpelled {
+		t.Fatalf("defaulted and spelled tracker params hash apart: %s vs %s", hSparse, hSpelled)
+	}
+	if hSparse == hChanged {
+		t.Fatal("changed param value did not change the hash")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"greendimm/internal/core"
 	"greendimm/internal/exp"
 )
 
@@ -25,7 +26,8 @@ func TestSpecHashCanonicalization(t *testing.T) {
 	implicit := JobSpec{Kind: KindVMServer, VMServer: &exp.VMScenario{GreenDIMM: true}}
 	explicit := JobSpec{Kind: KindVMServer, VMServer: &exp.VMScenario{
 		GreenDIMM: true, CapacityGB: 256, Hours: 24, BlockMB: 1024,
-		PeriodMS: 1000, MaxOfflinePerTick: 8, Policy: "free-first",
+		PeriodMS: 1000, MaxOfflinePerTick: 8,
+		Policy: core.PolicySpec{Name: core.PolicyFreeFirst},
 	}}
 	if mustHash(t, implicit) != mustHash(t, explicit) {
 		t.Error("defaulted and explicit specs hash differently")
@@ -73,7 +75,17 @@ func TestSpecExperimentDefaultsAndValidation(t *testing.T) {
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{Hours: -1}},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{CapacityGB: 100}},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{BlockMB: 999}},
-		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: "bogus"}},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: core.PolicySpec{Name: "bogus"}}},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: core.PolicySpec{
+			Name: core.PolicyAgeThreshold, Params: map[string]float64{"nope": 1},
+		}}},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: core.PolicySpec{
+			Name: core.PolicyHeatTier, Params: map[string]float64{"tiers": 1000},
+		}}},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{Policy: core.PolicySpec{
+			Name: core.PolicyFreeFirst, Tracker: core.TrackerIdleAge,
+		}}},
+		{Kind: KindVMServer, VMServer: &exp.VMScenario{OffThr: 0.04}},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, TimeoutSec: -1},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: -1},
 		{Kind: KindVMServer, VMServer: &exp.VMScenario{}, Parallelism: MaxJobParallelism + 1},

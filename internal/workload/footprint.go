@@ -23,6 +23,32 @@ type FootprintDriver struct {
 	running  bool
 	done     bool
 	onDone   []func()
+	tap      func(pfn kernel.PFN)
+}
+
+// SetAccessTap registers a per-page access hook (GreenDIMM's tracker
+// feed). After each footprint adjustment the driver touches a
+// deterministic sample of its resident pages through the tap, modelling
+// the application's working-set accesses between allocation events.
+func (f *FootprintDriver) SetAccessTap(fn func(pfn kernel.PFN)) { f.tap = fn }
+
+// touchResident samples the owner's resident set: a fixed-stride walk in
+// allocation order (at most ~64 pages per period), so tracker heat
+// reflects which blocks actually hold this application's pages. Pure
+// function of allocator state — no RNG, no wall clock — keeping runs
+// byte-identical at any parallelism.
+func (f *FootprintDriver) touchResident() {
+	if f.tap == nil {
+		return
+	}
+	n := f.mem.OwnerPageCount(f.owner)
+	if n == 0 {
+		return
+	}
+	stride := n/64 + 1
+	for i := int64(0); i < n; i += stride {
+		f.tap(f.mem.OwnerPage(f.owner, i))
+	}
 }
 
 // NewFootprintDriver builds a driver that walks the curve over duration,
@@ -92,6 +118,7 @@ func (f *FootprintDriver) adjust(progress float64) {
 	case have > targetPages:
 		f.mem.FreeOwnerPages(f.owner, have-targetPages)
 	}
+	f.touchResident()
 }
 
 // Teardown frees everything the driver allocated.

@@ -47,6 +47,14 @@ go test -race ./internal/store/
 GREENDIMM_QUICK=1 go test -race -run 'Recovery|Resubmit|Resume|Shard' \
     ./internal/server/ ./internal/cluster/
 
+echo "==> go test -race (policy pipeline: trackers, policies, equivalence)"
+# The block-selection pipeline must stay byte-identical to the legacy
+# policies and deterministic under parallel sweeps; its unit tests,
+# golden-equivalence suite and polgrid ablation always run under the
+# detector.
+GREENDIMM_QUICK=1 go test -race -run 'Policy|Tracker|Hysteresis|Proactive|HeatTier|AgeThreshold|Equivalence' \
+    ./internal/core/ ./internal/exp/ ./internal/server/ ./internal/cluster/
+
 echo "==> go test -race ./internal/obs/ (lock-free span ring)"
 # The trace ring's atomic reservation/publication protocol is only as
 # good as its race coverage; run it under the detector unconditionally.
@@ -58,7 +66,7 @@ echo "==> alloc regression (engine, controller, workload hot paths)"
 # the race detector: AllocsPerRun must count only the code's own
 # allocations, and these same tests also run race-instrumented in the
 # repo-wide pass below.
-go test -run 'Alloc|SteadyState' ./internal/sim/ ./internal/mc/ ./internal/workload/
+go test -run 'Alloc|SteadyState' ./internal/sim/ ./internal/mc/ ./internal/workload/ ./internal/core/
 
 echo "==> go test -race ./internal/mc/ (pooled-request reuse contract)"
 # The request pool recycles objects whose completion events are queued;
