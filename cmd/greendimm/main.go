@@ -14,6 +14,10 @@
 // backoff, optional hedging of stragglers, and in-process fallback when
 // every backend is down. Results are byte-identical to local runs — the
 // dispatcher verifies this whenever a spec executes more than once.
+//
+// With -memo-dir, baseline sweep cells computed by local runs persist
+// to a WAL-backed log in that directory and reload at the next
+// invocation, so repeated quick iterations skip the shared baselines.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"greendimm/internal/obs"
 	"greendimm/internal/report"
 	"greendimm/internal/server"
+	"greendimm/internal/store"
 	"greendimm/internal/sweep"
 )
 
@@ -50,6 +55,7 @@ func main() {
 		backends   = flag.String("backends", "", "comma-separated greendimmd base URLs; jobs run remotely with routing, retries and hedging (in-process fallback if all are down)")
 		hedgeAfter = flag.Duration("hedge-after", 30*time.Second, "with -backends: duplicate an unfinished job onto a second backend after this long (0 disables hedging)")
 		traceOut   = flag.String("trace-out", "", "write a JSON execution trace (per-cell spans; with -backends also attempts/hedges/backoffs) to this file")
+		memoDir    = flag.String("memo-dir", "", "persistent baseline-cell memo directory (local runs only): reload previously computed sweep cells before running and save new ones after, so repeated invocations skip shared baselines")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -97,7 +103,55 @@ func main() {
 	default:
 		opts := exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 		opts.Hooks.EngineShards = *shards
+		saveMemo := openMemoDir(*memoDir, &opts)
 		runLocalRegistry(*which, opts, *csvDir)
+		saveMemo()
+	}
+}
+
+// openMemoDir loads a persistent memo store into opts.Memo and returns
+// the save function that writes newly computed entries back. With an
+// empty dir it is a no-op pair: runLocalRegistry builds its own
+// in-memory memo as before. Entries persist with the same verified
+// codec the daemon's memo spill uses, so the two stores are
+// interchangeable on disk.
+func openMemoDir(dir string, opts *exp.Options) func() {
+	if dir == "" {
+		return func() {}
+	}
+	ml, err := store.OpenMemoLog(dir, store.MemoLogOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	memo := sweep.NewMemo(0)
+	memo.SetCodec(exp.MemoCodec())
+	var warm []sweep.Entry
+	for _, c := range ml.Entries() {
+		warm = append(warm, sweep.Entry{V: sweep.EntryVersion, Key: c.Key, Value: c.Value})
+	}
+	if n := memo.Import(warm); n > 0 {
+		fmt.Fprintf(os.Stderr, "memo: %d entries loaded from %s\n", n, dir)
+	}
+	opts.Memo = memo
+	return func() {
+		saved := 0
+		for _, e := range memo.Export(nil) {
+			before := ml.Len()
+			if err := ml.Put(e.Key, e.Value); err != nil {
+				fmt.Fprintf(os.Stderr, "memo: saving %s: %v\n", dir, err)
+				break
+			}
+			if ml.Len() > before {
+				saved++
+			}
+		}
+		if saved > 0 {
+			fmt.Fprintf(os.Stderr, "memo: %d new entries saved to %s\n", saved, dir)
+		}
+		if err := ml.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memo: closing %s: %v\n", dir, err)
+		}
 	}
 }
 

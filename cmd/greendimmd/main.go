@@ -20,6 +20,13 @@
 // already done. With -shard-cells N (and -peers), matrix experiments fan
 // out across the peers as cell-range shards of ~N sweep cells each,
 // merged locally to the byte-identical single-node report.
+//
+// Baseline sweep cells memoize in a shared LRU (-memo entries; negative
+// disables). With -store-dir the memo also journals to <dir>/memo/, so
+// a restarted daemon boots warm and serves repeat sweeps without
+// recomputation. Daemons expose the memo to peers (GET /v1/memo/keys,
+// POST /v1/memo/entries); a sharding coordinator scores backends by
+// warm-key overlap and places each shard where its cells already live.
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 		storeDir   = flag.String("store-dir", "", "durable job store directory: accepted jobs and their completed sweep cells are journaled, jobs interrupted by a crash resume from completed work at the next start; empty keeps the daemon in-memory")
 		shardCells = flag.Int("shard-cells", 0, "fan matrix experiments out across -peers as cell-range shards of about this many sweep cells each (0 disables; requires -peers)")
 		policyFile = flag.String("policy-config", "", "JSON policy config file; its block-selection pipeline becomes the default for vmserver jobs that omit a policy (see GET /v1/policies)")
+		memoSize   = flag.Int("memo", 0, "baseline-cell memo entries shared across jobs (0 = default 512, negative disables); with -store-dir the memo spills to disk and reloads warm at the next start")
 	)
 	flag.Parse()
 
@@ -70,7 +78,13 @@ func main() {
 		MaxJobRecords:  *maxRecords,
 		CPUBudget:      *cpuBudget,
 		StoreDir:       *storeDir,
+		MemoEntries:    *memoSize,
 	}
+	// One memo instance shared by the server, the shard runner's merge
+	// executor, and the cluster's warm-peer exchange: build it here so
+	// every layer sees the same entries (and the memo spill log under
+	// -store-dir persists what all of them computed).
+	cfg.Memo = cfg.NewMemo()
 	if *policyFile != "" {
 		pc, err := server.LoadPolicyConfig(*policyFile)
 		if err != nil {
@@ -97,6 +111,7 @@ func main() {
 		pool.Start()
 		defer pool.Stop()
 	}
+	var warm *cluster.Warm
 	if *shardCells > 0 {
 		if pool == nil {
 			log.Printf("-shard-cells %d ignored: no -peers to shard across", *shardCells)
@@ -105,11 +120,20 @@ func main() {
 			// the shard merge run through the config's own runner (shared
 			// limiter + memo), so local work stays inside one CPU budget.
 			exec := cfg.BaseRunner()
-			d := cluster.NewDispatcher(pool, cluster.Options{})
-			sr, err := cluster.NewShardRunner(d, cluster.ShardOptions{
+			ctr := &cluster.Counters{}
+			d := cluster.NewDispatcher(pool, cluster.Options{Counters: ctr})
+			shardOpts := cluster.ShardOptions{
 				CellsPerShard: *shardCells,
 				Exec:          exec,
-			})
+			}
+			if cfg.Memo != nil {
+				// Warm-aware placement: shards route to the peer already
+				// holding their baseline cells, and missing entries are
+				// prefetched into this node's memo before the merge.
+				warm = cluster.NewWarm(pool, cfg.Memo, cluster.WarmOptions{Counters: ctr})
+				shardOpts.Warm = warm
+			}
+			sr, err := cluster.NewShardRunner(d, shardOpts)
 			if err != nil {
 				log.Fatalf("shard runner: %v", err)
 			}
@@ -121,6 +145,12 @@ func main() {
 	srv, err := server.Open(cfg)
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
+	}
+	if warm != nil {
+		warm.SetOnFetch(func(n int) { srv.NotePeerMemoFetch(int64(n)) })
+	}
+	if n := srv.MemoImported(); n > 0 {
+		log.Printf("memo store: booted warm with %d persisted entries", n)
 	}
 	if *storeDir != "" {
 		log.Printf("durable job store at %s", *storeDir)

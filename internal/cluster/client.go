@@ -15,6 +15,7 @@ import (
 
 	"greendimm/internal/obs"
 	"greendimm/internal/server"
+	"greendimm/internal/sweep"
 )
 
 // RetryPolicy caps the backoff loop around one logical API call. Delays
@@ -222,6 +223,39 @@ func (c *Client) Cancel(ctx context.Context, id string) (server.JobView, error) 
 		return c.do(actx, http.MethodDelete, "/v1/jobs/"+id, nil, &v)
 	})
 	return v, err
+}
+
+// MemoKeys fetches the backend's warm memo-key digest, with one attempt
+// and no retries: the digest is an optimization input, refreshed on a
+// short TTL by the Warm cache, and a failed fetch just reads as a cold
+// peer.
+func (c *Client) MemoKeys(ctx context.Context) ([]string, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var v server.MemoKeysView
+	if err := c.do(actx, http.MethodGet, "/v1/memo/keys", nil, &v); err != nil {
+		return nil, err
+	}
+	return v.Keys, nil
+}
+
+// MemoFetch pulls the named memo entries from the backend, one attempt,
+// no retries (a failed prefetch degrades to computing locally). The
+// response omits keys the peer does not hold; entries are NOT verified
+// here — sweep.Memo.Import runs each through the codec before trusting
+// it.
+func (c *Client) MemoFetch(ctx context.Context, keys []string) ([]sweep.Entry, error) {
+	body, err := json.Marshal(server.MemoFetchRequest{Keys: keys})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding memo fetch: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+	defer cancel()
+	var v server.MemoFetchResponse
+	if err := c.do(actx, http.MethodPost, "/v1/memo/entries", body, &v); err != nil {
+		return nil, err
+	}
+	return v.Entries, nil
 }
 
 // Healthz probes the backend once, with no retries — the Pool's

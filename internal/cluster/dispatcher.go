@@ -187,16 +187,32 @@ func (d *Dispatcher) RunTraced(ctx context.Context, specs []server.JobSpec, trac
 // fallback. The trace rides ctx from here down so the client's backoff
 // loop and the local fallback can record into it.
 func (d *Dispatcher) runOne(ctx context.Context, spec server.JobSpec, hash string, tr *obs.Trace) (*server.Result, string, error) {
+	return d.runOnePick(ctx, spec, hash, tr, nil)
+}
+
+// runOnePick is runOne with an optional placement score (Warm.Scorer):
+// non-nil, it biases every pick in the ladder — primary and hedge alike —
+// toward the backend holding the most of the spec's predicted memo keys,
+// with least-outstanding as the tie-break. Purely a routing preference:
+// the failover ladder, hedging and the local fallback are unchanged, and
+// a cold pick merely computes what a warm one would have replayed.
+func (d *Dispatcher) runOnePick(ctx context.Context, spec server.JobSpec, hash string, tr *obs.Trace, score func(url string) int) (*server.Result, string, error) {
 	ctx = obs.ContextWith(ctx, tr)
+	pick := func(tried map[string]bool) *Lease {
+		if score != nil {
+			return d.pool.PickScored(tried, score)
+		}
+		return d.pool.Pick(tried)
+	}
 	tried := make(map[string]bool)
 	var lastErr error
 	for len(tried) < d.opts.MaxBackendsPerJob {
-		lease := d.pool.Pick(tried)
+		lease := pick(tried)
 		if lease == nil {
 			break
 		}
 		tried[lease.URL()] = true
-		res, src, err := d.runOn(ctx, lease, spec, tried, tr)
+		res, src, err := d.runOn(ctx, lease, spec, tried, tr, pick)
 		if err == nil {
 			return res, src, nil
 		}
@@ -242,11 +258,11 @@ func (a attempt) failure() error {
 }
 
 // runOn submits the spec to the leased backend and waits it out,
-// launching at most one hedge onto another backend (recorded in tried)
-// once HedgeAfter elapses. The first success wins; the loser is
-// cancelled, and if it had already finished, its bytes are cross-checked
-// against the winner's.
-func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobSpec, tried map[string]bool, tr *obs.Trace) (*server.Result, string, error) {
+// launching at most one hedge onto another backend (picked by pick,
+// recorded in tried) once HedgeAfter elapses. The first success wins;
+// the loser is cancelled, and if it had already finished, its bytes are
+// cross-checked against the winner's.
+func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobSpec, tried map[string]bool, tr *obs.Trace, pick func(map[string]bool) *Lease) (*server.Result, string, error) {
 	start := time.Now()
 	sp := tr.StartArg("attempt", primary.URL())
 	v, err := primary.Client().Submit(ctx, spec)
@@ -318,7 +334,7 @@ func (d *Dispatcher) runOn(ctx context.Context, primary *Lease, spec server.JobS
 			}
 		case <-hedgeFire:
 			hedgeFire = nil
-			hl := d.pool.Pick(tried)
+			hl := pick(tried)
 			if hl == nil {
 				continue // nobody to hedge onto; keep waiting on the primary
 			}

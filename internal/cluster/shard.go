@@ -48,6 +48,16 @@ type ShardOptions struct {
 	Exec func(server.JobSpec, server.RunHooks) (*server.Result, error)
 	// Counters receives shard accounting (default: the dispatcher's).
 	Counters *Counters
+	// Warm, when non-nil, makes placement memo-aware: each shard's
+	// predicted memo keys score the backends by warm overlap, and the
+	// whole job's keys are prefetched from the warmest peer before the
+	// local merge. Purely an optimization — a nil Warm (or a failed
+	// prediction) restores plain least-outstanding routing.
+	Warm *Warm
+	// PredictKeys predicts the memo keys a spec's cell range will need
+	// (default server.PredictMemoKeys). A test seam; errors are treated
+	// as "no prediction".
+	PredictKeys func(server.JobSpec) ([]string, error)
 }
 
 // ShardRunner wraps a Dispatcher as a server.Config.Runner: eligible
@@ -83,6 +93,9 @@ func NewShardRunner(d *Dispatcher, opts ShardOptions) (*ShardRunner, error) {
 	}
 	if opts.Counters == nil {
 		opts.Counters = d.ctr
+	}
+	if opts.PredictKeys == nil {
+		opts.PredictKeys = server.PredictMemoKeys
 	}
 	return &ShardRunner{d: d, opts: opts, ctr: opts.Counters}, nil
 }
@@ -123,6 +136,20 @@ func (r *ShardRunner) Run(spec server.JobSpec, h server.RunHooks) (*server.Resul
 	for _, m := range missing {
 		missingCells += m[1] - m[0]
 	}
+	// Warm the local memo before any work runs: whatever the merge (or a
+	// local-fallback shard) will need that a peer already holds is one
+	// batched fetch away. Best-effort and bounded — a cold pool just
+	// returns 0.
+	if r.opts.Warm != nil {
+		if keys, kerr := r.opts.PredictKeys(spec); kerr == nil && len(keys) > 0 {
+			pctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if n := r.opts.Warm.Prefetch(pctx, keys); n > 0 {
+				h.Trace.Mark("memo_prefetch", fmt.Sprintf("%d entries", n))
+			}
+			cancel()
+		}
+	}
+
 	var collected []exp.CellArtifact
 	if missingCells >= r.opts.MinCells {
 		planned := planShards(missing, r.opts.CellsPerShard, r.opts.MaxShards)
@@ -230,8 +257,17 @@ func (r *ShardRunner) runRange(ctx context.Context, spec server.JobSpec, h serve
 		return err
 	}
 	r.ctr.Shards.Add(1)
+	// Score backends by how much of this shard's memo working set they
+	// hold warm. A nil scorer (no Warm, failed prediction, or a fully
+	// cold pool) leaves routing purely least-outstanding.
+	var score func(url string) int
+	if r.opts.Warm != nil {
+		if keys, kerr := r.opts.PredictKeys(shardSpec); kerr == nil && len(keys) > 0 {
+			score = r.opts.Warm.Scorer(ctx, keys)
+		}
+	}
 	sp := h.Trace.StartArg("shard", fmt.Sprintf("[%d,%d)", lo, hi))
-	res, _, err := r.d.runOne(ctx, shardSpec, hash, h.Trace)
+	res, _, err := r.d.runOnePick(ctx, shardSpec, hash, h.Trace, score)
 	sp.EndErr(err)
 	if err == nil {
 		collect(res.Cells)

@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"greendimm/internal/exp"
+	"greendimm/internal/server"
+	"greendimm/internal/sweep"
+)
+
+// shardSpecSeed is shardSpec with a chosen seed — distinct seeds give
+// distinct memo key sets, which benchmarks use to defeat caches.
+func shardSpecSeed(seed int64) server.JobSpec {
+	return server.JobSpec{Kind: server.KindExperiment, Experiment: &server.ExperimentSpec{ID: "fig8", Quick: true, Seed: seed}}
+}
+
+// warmEntries computes fig8's full quick sweep in-process and exports
+// the resulting memo entries — the canonical way to make a peer warm.
+func warmEntries(tb testing.TB, seed int64) []sweep.Entry {
+	tb.Helper()
+	src := sweep.NewMemo(0)
+	src.SetCodec(exp.MemoCodec())
+	o := exp.Options{Quick: true, Seed: seed, Parallelism: 1, Memo: src}
+	if _, _, err := exp.Registry()["fig8"](o); err != nil {
+		tb.Fatal(err)
+	}
+	entries := src.Export(nil)
+	if len(entries) == 0 {
+		tb.Fatal("full sweep exported no memo entries")
+	}
+	return entries
+}
+
+func TestPickScoredPrefersWarmOverlap(t *testing.T) {
+	p := NewPool([]string{"a", "b", "c"}, PoolConfig{})
+	if l := p.Pick(nil); l.URL() != "a" {
+		t.Fatalf("baseline Pick = %s, want a (config order)", l.URL())
+	}
+	// a now has 1 outstanding job; a positive score still wins over the
+	// idle backends.
+	if l := p.PickScored(nil, func(url string) int {
+		if url == "a" {
+			return 3
+		}
+		return 0
+	}); l.URL() != "a" {
+		t.Fatalf("scored pick = %s, want the warm backend a", l.URL())
+	}
+	// Uniform scores degenerate to least-outstanding + config order.
+	if l := p.PickScored(nil, func(string) int { return 1 }); l.URL() != "b" {
+		t.Fatalf("uniform-score pick = %s, want b", l.URL())
+	}
+	// Nil score is exactly Pick: c is now the only idle backend.
+	if l := p.PickScored(nil, nil); l.URL() != "c" {
+		t.Fatalf("nil-score pick = %s, want c", l.URL())
+	}
+	// Exclusion beats score.
+	if l := p.PickScored(map[string]bool{"a": true}, func(url string) int {
+		switch url {
+		case "a":
+			return 9
+		case "b":
+			return 1
+		}
+		return 0
+	}); l.URL() != "b" {
+		t.Fatalf("excluded-a pick = %s, want b", l.URL())
+	}
+}
+
+// TestWarmScorerRoutesAndPrefetches is the exchange e2e over real
+// backends: a warm peer's digest drives scoring and PickScored, Prefetch
+// pulls its entries into the local memo, and a local run against the
+// fetched entries is byte-identical to cold computation with zero
+// baseline recomputes.
+func TestWarmScorerRoutesAndPrefetches(t *testing.T) {
+	ctr := &Counters{}
+	hsCold, _ := newBackend(t, server.Config{Workers: 2, QueueDepth: 16})
+	hsWarm, srvWarm := newBackend(t, server.Config{Workers: 2, QueueDepth: 16})
+	entries := warmEntries(t, 1)
+	if n := srvWarm.Memo().Import(entries); n != len(entries) {
+		t.Fatalf("peer import installed %d of %d entries", n, len(entries))
+	}
+	pool := NewPool([]string{hsCold.URL, hsWarm.URL}, PoolConfig{Client: fastClient(ctr)})
+
+	local := sweep.NewMemo(0)
+	local.SetCodec(exp.MemoCodec())
+	w := NewWarm(pool, local, WarmOptions{Counters: ctr})
+	keys, err := server.PredictMemoKeys(shardSpec())
+	if err != nil || len(keys) == 0 {
+		t.Fatalf("PredictMemoKeys = %d keys, %v", len(keys), err)
+	}
+
+	ctx := context.Background()
+	score := w.Scorer(ctx, keys)
+	if score == nil {
+		t.Fatal("Scorer = nil with a warm peer present")
+	}
+	if got := score(hsWarm.URL); got != len(keys) {
+		t.Fatalf("warm backend score = %d, want %d (full overlap)", got, len(keys))
+	}
+	if got := score(hsCold.URL); got != 0 {
+		t.Fatalf("cold backend score = %d, want 0", got)
+	}
+	l := pool.PickScored(nil, score)
+	if l.URL() != hsWarm.URL {
+		t.Fatalf("PickScored routed to %s, want the warm backend", l.URL())
+	}
+	l.Release(nil)
+	if ctr.WarmPicks.Load() == 0 {
+		t.Fatal("WarmPicks counter not bumped")
+	}
+
+	var notified int
+	w.SetOnFetch(func(n int) { notified += n })
+	n := w.Prefetch(ctx, keys)
+	if n != len(keys) {
+		t.Fatalf("Prefetch imported %d entries, want %d", n, len(keys))
+	}
+	if notified != n || ctr.PeerMemoEntries.Load() != int64(n) {
+		t.Fatalf("fetch accounting: notified=%d counter=%d, want %d", notified, ctr.PeerMemoEntries.Load(), n)
+	}
+	if again := w.Prefetch(ctx, keys); again != 0 {
+		t.Fatalf("second Prefetch imported %d entries, want 0 (nothing missing)", again)
+	}
+
+	// The fetched entries must serve a local run byte-identically, with
+	// zero baseline recomputation — the divergence fingerprint is the
+	// arbiter.
+	exec := server.Config{Workers: 1, Memo: local}.BaseRunner()
+	res, err := exec(shardSpec(), server.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localExec(t, shardSpec())
+	if mustFingerprint(t, res) != mustFingerprint(t, want) {
+		t.Fatal("report from peer-fetched entries diverged from cold computation")
+	}
+	if got := local.Computes(); got != 0 {
+		t.Fatalf("run against fetched entries computed %d cells, want 0", got)
+	}
+}
+
+func TestWarmNilIsNoOp(t *testing.T) {
+	var w *Warm
+	w.SetOnFetch(func(int) {})
+	if s := w.Scorer(context.Background(), []string{"k"}); s != nil {
+		t.Fatal("nil Warm produced a scorer")
+	}
+	if n := w.Prefetch(context.Background(), []string{"k"}); n != 0 {
+		t.Fatalf("nil Warm prefetched %d entries", n)
+	}
+}
+
+// TestWarmDigestTTL pins the digest cache: one HTTP fetch per backend
+// per TTL window, and a failed refresh serves the stale copy instead of
+// going cold.
+func TestWarmDigestTTL(t *testing.T) {
+	var reqs atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/memo/keys" {
+			http.NotFound(w, r)
+			return
+		}
+		reqs.Add(1)
+		json.NewEncoder(w).Encode(server.MemoKeysView{Count: 1, Keys: []string{"timing|x"}})
+	}))
+	defer hs.Close()
+	pool := NewPool([]string{hs.URL}, PoolConfig{Client: fastClient(nil)})
+	w := NewWarm(pool, nil, WarmOptions{TTL: time.Minute})
+	cur := time.Unix(1000, 0)
+	w.now = func() time.Time { return cur }
+
+	ctx := context.Background()
+	keys := []string{"timing|x", "timing|y"}
+	for i := 0; i < 3; i++ {
+		if s := w.Scorer(ctx, keys); s == nil || s(hs.URL) != 1 {
+			t.Fatalf("round %d: scorer lost the digest", i)
+		}
+	}
+	if got := reqs.Load(); got != 1 {
+		t.Fatalf("digest fetched %d times within TTL, want 1", got)
+	}
+	cur = cur.Add(2 * time.Minute)
+	if s := w.Scorer(ctx, keys); s == nil || s(hs.URL) != 1 {
+		t.Fatal("post-TTL refresh lost the digest")
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("digest fetched %d times after TTL, want 2", got)
+	}
+	// Kill the backend: the next refresh fails and the stale digest still
+	// scores.
+	hs.Close()
+	cur = cur.Add(2 * time.Minute)
+	if s := w.Scorer(ctx, keys); s == nil || s(hs.URL) != 1 {
+		t.Fatal("failed refresh went cold instead of serving the stale digest")
+	}
+}
+
+// TestShardRunnerWarmPlacement runs the full warm pipeline through the
+// shard runner: placement must route every shard to the warm backend,
+// and the merged report must stay byte-identical to the single-node run.
+func TestShardRunnerWarmPlacement(t *testing.T) {
+	want := mustFingerprint(t, localExec(t, shardSpec()))
+	ctr := &Counters{}
+	hsCold, srvCold := newBackend(t, server.Config{Workers: 2, QueueDepth: 16})
+	hsWarm, srvWarm := newBackend(t, server.Config{Workers: 2, QueueDepth: 16})
+	entries := warmEntries(t, 1)
+	if n := srvWarm.Memo().Import(entries); n != len(entries) {
+		t.Fatalf("peer import installed %d of %d entries", n, len(entries))
+	}
+	pool := NewPool([]string{hsCold.URL, hsWarm.URL}, PoolConfig{Client: fastClient(ctr)})
+	d := NewDispatcher(pool, Options{Counters: ctr})
+	local := sweep.NewMemo(0)
+	local.SetCodec(exp.MemoCodec())
+	sr, err := NewShardRunner(d, ShardOptions{
+		CellsPerShard: 6,
+		Exec:          execLocal,
+		Counters:      ctr,
+		Warm:          NewWarm(pool, local, WarmOptions{Counters: ctr}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sr.Run(shardSpec(), server.RunHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustFingerprint(t, res); got != want {
+		t.Fatalf("warm-placed report diverged: %s vs %s", got, want)
+	}
+	// Every shard's cells were resident on the warm peer, so the cold
+	// backend must have computed nothing.
+	if got := srvCold.Memo().Computes(); got != 0 {
+		t.Fatalf("cold backend computed %d cells despite a fully warm peer", got)
+	}
+	if srvWarm.Memo().Computes() != 0 {
+		t.Fatal("warm backend recomputed cells it already held")
+	}
+	if ctr.WarmPicks.Load() == 0 || ctr.PeerMemoEntries.Load() == 0 {
+		t.Fatalf("warm accounting: picks=%d peer_entries=%d, want both > 0",
+			ctr.WarmPicks.Load(), ctr.PeerMemoEntries.Load())
+	}
+}
+
+// BenchmarkClusterWarmSweep is the perf gate: the same quick matrix
+// sweep dispatched across two backends, cold (every cell simulated)
+// versus warm (one peer pre-holds every cell; placement and prefetch do
+// the rest). Per-iteration seeds defeat result caches, so cold really
+// simulates each time. Compare sub-benchmark ns/op: warm must be well
+// under cold (the acceptance bar is <= 50%).
+func BenchmarkClusterWarmSweep(b *testing.B) {
+	run := func(b *testing.B, warm bool) {
+		ctr := &Counters{}
+		hs0, srv0 := newBackend(b, server.Config{Workers: 4, QueueDepth: 64})
+		hs1, _ := newBackend(b, server.Config{Workers: 4, QueueDepth: 64})
+		pool := NewPool([]string{hs0.URL, hs1.URL}, PoolConfig{Client: fastClient(ctr)})
+		d := NewDispatcher(pool, Options{Counters: ctr})
+		opts := ShardOptions{CellsPerShard: 6, Exec: execLocal, Counters: ctr}
+		if warm {
+			local := sweep.NewMemo(0)
+			local.SetCodec(exp.MemoCodec())
+			// Each iteration warms a fresh seed's key set, so the digest
+			// must not outlive an iteration: a near-zero TTL refetches it
+			// every sweep (one extra round-trip, honestly charged).
+			opts.Warm = NewWarm(pool, local, WarmOptions{Counters: ctr, TTL: time.Millisecond})
+		}
+		sr, err := NewShardRunner(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seed := int64(i + 1)
+			if warm {
+				b.StopTimer()
+				entries := warmEntries(b, seed)
+				if n := srv0.Memo().Import(entries); n != len(entries) {
+					b.Fatalf("prewarm installed %d of %d entries", n, len(entries))
+				}
+				b.StartTimer()
+			}
+			if _, err := sr.Run(shardSpecSeed(seed), server.RunHooks{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}

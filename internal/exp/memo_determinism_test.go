@@ -18,7 +18,13 @@ func TestMemoDeterminism(t *testing.T) {
 	for _, id := range ids {
 		baseline[id] = renderExperiment(t, id, Options{Quick: true, Seed: 1, Parallelism: 1})
 	}
-	for _, par := range []int{1, 8} {
+	pars := []int{1, 8}
+	if testing.Short() {
+		// Parallelism 1 only re-derives the serial baseline; under -short
+		// (the 1-CPU race budget) keep the contended width alone.
+		pars = []int{8}
+	}
+	for _, par := range pars {
 		// Fresh memo per experiment: every cell computes through the memo.
 		for _, id := range ids {
 			got := renderExperiment(t, id,

@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"greendimm/internal/sweep"
+)
+
+// TestPredictKeysMatchesExecution pins the prediction to reality: the
+// keys PredictKeys reports for a range must be exactly the keys a real
+// run of that range consults (observed through the memo it populates).
+func TestPredictKeysMatchesExecution(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	n, err := CellCount("fig8", o)
+	if err != nil || n < 2 {
+		t.Fatalf("CellCount(fig8) = %d, %v", n, err)
+	}
+	pred, err := PredictKeys("fig8", o, 0, n)
+	if err != nil {
+		t.Fatalf("PredictKeys: %v", err)
+	}
+	if len(pred) == 0 {
+		t.Fatal("no keys predicted for a memoized sweep")
+	}
+	codec := MemoCodec()
+	for _, k := range pred {
+		if !codec.Exportable(k) {
+			t.Fatalf("predicted key %q is not in an exportable family", k)
+		}
+	}
+
+	run := o
+	m := sweep.NewMemo(0)
+	m.SetCodec(codec)
+	run.Memo = m
+	run.CellRange = &CellRange{Lo: 0, Hi: n}
+	_, _, err = Registry()["fig8"](run)
+	var rd *RangeDone
+	if !errors.As(err, &rd) {
+		t.Fatalf("range run = %v, want RangeDone", err)
+	}
+	actual := m.Keys() // sorted
+	predSorted := append([]string(nil), pred...)
+	sort.Strings(predSorted)
+	if !reflect.DeepEqual(predSorted, actual) {
+		t.Fatalf("prediction diverged from execution:\n predicted %v\n consulted %v", predSorted, actual)
+	}
+}
+
+func TestPredictKeysSubrangeAndDeterminism(t *testing.T) {
+	o := Options{Quick: true, Seed: 1}
+	n, err := CellCount("fig8", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := PredictKeys("fig8", o, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := PredictKeys("fig8", o, 0, n)
+	if err != nil || !reflect.DeepEqual(all, again) {
+		t.Fatalf("prediction is not deterministic:\n %v\n %v (%v)", all, again, err)
+	}
+	sub, err := PredictKeys("fig8", o, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) == 0 || len(sub) >= len(all) {
+		t.Fatalf("subrange predicted %d keys, full range %d; want a proper non-empty subset", len(sub), len(all))
+	}
+	allSet := map[string]bool{}
+	for _, k := range all {
+		allSet[k] = true
+	}
+	for _, k := range sub {
+		if !allSet[k] {
+			t.Fatalf("subrange key %q not in the full-range prediction", k)
+		}
+	}
+}
+
+func TestPredictKeysErrors(t *testing.T) {
+	if _, err := PredictKeys("nope", Options{}, 0, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// hwcost has no sweep: it ignores the probe range, which must read as
+	// "not shardable", not as an empty prediction.
+	if _, err := PredictKeys("hwcost", Options{Quick: true}, 0, 1); err == nil || !strings.Contains(err.Error(), "not shardable") {
+		t.Fatalf("PredictKeys(hwcost) = %v, want a not-shardable error", err)
+	}
+}
+
+func TestMemoCodecRoundTrip(t *testing.T) {
+	c := MemoCodec()
+	key := "tailsvc|test|daemon=true|seed=1"
+	cell := tailCell{Stats: tailStats{Percentile95: 1.5, Percentile99: 2.25}, Events: 42}
+	raw, ok := c.Encode(key, cell)
+	if !ok {
+		t.Fatal("Encode declined a valid cell")
+	}
+	v, ok := c.Decode(key, raw)
+	if !ok {
+		t.Fatal("Decode rejected its own encoding")
+	}
+	if v.(tailCell) != cell {
+		t.Fatalf("round trip changed the value: %+v != %+v", v, cell)
+	}
+	// Encoding must be canonical: re-encoding the decoded value is
+	// byte-identical (the warm-peer exchange relies on this).
+	raw2, ok := c.Encode(key, v)
+	if !ok || string(raw2) != string(raw) {
+		t.Fatalf("re-encode diverged: %s vs %s", raw2, raw)
+	}
+}
+
+func TestMemoCodecRejects(t *testing.T) {
+	c := MemoCodec()
+	if c.Exportable("mystery|x") {
+		t.Fatal("unknown family reported exportable")
+	}
+	if _, ok := c.Encode("mystery|x", 1); ok {
+		t.Fatal("unknown family encoded")
+	}
+	if _, ok := c.Decode("mystery|x", json.RawMessage(`1`)); ok {
+		t.Fatal("unknown family decoded")
+	}
+	// Wrong dynamic type for the family.
+	if _, ok := c.Encode("tailsvc|x", TimingRun{}); ok {
+		t.Fatal("type-mismatched value encoded")
+	}
+	// Schema drift: an extra field must fail the strict decode.
+	good, _ := c.Encode("tailsvc|x", tailCell{Events: 1})
+	drifted := json.RawMessage(strings.Replace(string(good), "{", `{"Extra":1,`, 1))
+	if _, ok := c.Decode("tailsvc|x", drifted); ok {
+		t.Fatal("drifted entry decoded; want strict rejection")
+	}
+	// Corruption: not JSON at all.
+	if _, ok := c.Decode("tailsvc|x", json.RawMessage(`{"Events":`)); ok {
+		t.Fatal("corrupt entry decoded")
+	}
+}

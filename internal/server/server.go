@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -94,10 +95,16 @@ type Config struct {
 	CPUBudget int
 
 	// MemoEntries bounds the server-wide baseline-cell memo (default
-	// 512 entries) that lets concurrent or successive jobs share
+	// 512 entries, LRU) that lets concurrent or successive jobs share
 	// identical sweep cells (e.g. fig12 and fig13's common traced day).
 	// Negative disables memoization entirely.
 	MemoEntries int
+
+	// Memo, when non-nil, is the shared baseline-cell memo itself —
+	// for callers (cmd/greendimmd) that must hand the same instance to
+	// both the server and the cluster's warm-placement machinery. Nil
+	// lets the server build one from MemoEntries via NewMemo.
+	Memo *sweep.Memo
 
 	// Runner is the execution function — a test seam (used by the
 	// server's own tests and internal/cluster's fault-injection
@@ -130,11 +137,39 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	c = c.filled()
+	c = c.resolved()
 	if c.Runner == nil {
 		c.Runner = c.baseRunner()
 	}
 	return c
+}
+
+// resolved fills numeric defaults and materializes the shared memo (with
+// the experiment codec installed, so it can export/import entries).
+func (c Config) resolved() Config {
+	c = c.filled()
+	if c.Memo == nil {
+		c.Memo = c.NewMemo()
+	} else {
+		c.Memo.SetCodec(exp.MemoCodec())
+	}
+	return c
+}
+
+// NewMemo builds the baseline-cell memo this config implies: nil when
+// MemoEntries is negative (memoization disabled), otherwise an
+// LRU-bounded memo with the experiment layer's entry codec installed.
+// cmd/greendimmd calls this once and sets Config.Memo so the server,
+// the shard runner and the cluster's warm-peer exchange all share one
+// instance.
+func (c Config) NewMemo() *sweep.Memo {
+	c = c.filled()
+	if c.MemoEntries <= 0 {
+		return nil
+	}
+	m := sweep.NewMemo(c.MemoEntries)
+	m.SetCodec(exp.MemoCodec())
+	return m
 }
 
 // filled resolves every numeric default, leaving Runner untouched.
@@ -170,17 +205,15 @@ func (c Config) filled() Config {
 }
 
 // baseRunner builds the in-process execution function: runSpec under a
-// fresh sweep limiter and memo sized from c. Call on a filled config.
+// fresh sweep limiter and the config's shared memo. Call on a resolved
+// config.
 func (c Config) baseRunner() func(JobSpec, RunHooks) (*Result, error) {
 	// Extra sweep workers (beyond each job's own pool worker) draw
 	// from the budget left over after the worker pool is staffed.
 	limiter := sweep.NewLimiter(c.CPUBudget - c.Workers)
 	// One memo across all jobs: distinct specs still share their
 	// common baseline cells (result-neutral; see exp.Options.Memo).
-	var memo *sweep.Memo
-	if c.MemoEntries > 0 {
-		memo = sweep.NewMemo(c.MemoEntries)
-	}
+	memo := c.Memo
 	return func(spec JobSpec, h RunHooks) (*Result, error) {
 		return runSpec(spec, h, limiter, memo)
 	}
@@ -189,9 +222,11 @@ func (c Config) baseRunner() func(JobSpec, RunHooks) (*Result, error) {
 // BaseRunner returns the execution function this config would install
 // when Runner is nil — for callers (cmd/greendimmd) that compose a
 // wrapper, e.g. the cluster's shard runner, around the real simulator
-// while keeping the config's limiter/memo sizing.
+// while keeping the config's limiter/memo sizing. Callers that also
+// pass the config to Open should set Config.Memo (NewMemo) first, so
+// the wrapper and the server share one memo instead of building two.
 func (c Config) BaseRunner() func(JobSpec, RunHooks) (*Result, error) {
-	return c.filled().baseRunner()
+	return c.resolved().baseRunner()
 }
 
 // job is the internal record; jobView snapshots it for clients.
@@ -311,6 +346,16 @@ type Server struct {
 	store     *store.Store
 	storeErrs atomic.Int64
 
+	// memoLog is the durable memo journal under <StoreDir>/memo/ (nil
+	// without a store or with memoization disabled): every memo entry a
+	// run resolves is spilled to it, and Open imports its contents so a
+	// restarted daemon boots warm. memoImported counts the entries that
+	// survived codec verification at boot; memoPeerFetch counts entries
+	// pulled from warm cluster peers (reported via NotePeerMemoFetch).
+	memoLog       *store.MemoLog
+	memoImported  int64
+	memoPeerFetch atomic.Int64
+
 	wg sync.WaitGroup
 }
 
@@ -340,6 +385,8 @@ func Open(cfg Config) (*Server, error) {
 	}
 	var st *store.Store
 	var pending []store.Record
+	var memoLog *store.MemoLog
+	var memoImported int64
 	if cfg.StoreDir != "" {
 		var err error
 		st, err = store.Open(cfg.StoreDir, store.Options{})
@@ -347,6 +394,23 @@ func Open(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: opening job store: %w", err)
 		}
 		pending = st.Pending()
+		if cfg.Memo != nil {
+			// The durable memo lives beside the job journal. Importing
+			// before the first worker starts means even the recovered jobs
+			// re-enqueued below run against a warm memo; every entry is
+			// codec-verified by Import, so a stale or corrupt log degrades
+			// to recomputation.
+			memoLog, err = store.OpenMemoLog(filepath.Join(cfg.StoreDir, "memo"), store.MemoLogOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("server: opening memo store: %w", err)
+			}
+			logged := memoLog.Entries()
+			entries := make([]sweep.Entry, len(logged))
+			for i, c := range logged {
+				entries[i] = sweep.Entry{V: sweep.EntryVersion, Key: c.Key, Value: c.Value}
+			}
+			memoImported = int64(cfg.Memo.Import(entries))
+		}
 	}
 	// The queue must absorb every recovered job without blocking boot.
 	qcap := cfg.QueueDepth
@@ -355,17 +419,19 @@ func Open(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		jobs:      make(map[string]*job),
-		queue:     make(chan *job, qcap),
-		cache:     make(map[string]*list.Element),
-		lru:       list.New(),
-		histWall:  metrics.NewLogHistogram(0.001, 3600, 3),
-		histQueue: metrics.NewLogHistogram(0.001, 3600, 3),
-		histCell:  metrics.NewLogHistogram(0.001, 3600, 3),
-		store:     st,
+		cfg:          cfg,
+		baseCtx:      ctx,
+		cancelAll:    cancel,
+		jobs:         make(map[string]*job),
+		queue:        make(chan *job, qcap),
+		cache:        make(map[string]*list.Element),
+		lru:          list.New(),
+		histWall:     metrics.NewLogHistogram(0.001, 3600, 3),
+		histQueue:    metrics.NewLogHistogram(0.001, 3600, 3),
+		histCell:     metrics.NewLogHistogram(0.001, 3600, 3),
+		store:        st,
+		memoLog:      memoLog,
+		memoImported: memoImported,
 	}
 	for _, rec := range pending {
 		s.recoverJob(rec)
@@ -586,6 +652,15 @@ func (s *Server) runJob(j *job) {
 		h.CellObserved = func(a exp.CellArtifact) {
 			if err := s.store.PutCell(hash, a.Key, a.Value); err != nil {
 				s.storeErrs.Add(1)
+			}
+			if s.memoLog != nil {
+				// Spill the entry to the durable memo too: unlike the
+				// per-spec job journal, the memo log is keyed only by
+				// fingerprint, so a restarted daemon is warm for ANY spec
+				// that shares the cell, not just this one.
+				if err := s.memoLog.Put(a.Key, a.Value); err != nil {
+					s.storeErrs.Add(1)
+				}
 			}
 		}
 		h.Ranges = &RangeLog{
@@ -907,8 +982,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// closeStore releases the job store after the workers have exited.
+// closeStore releases the job store and memo log after the workers have
+// exited.
 func (s *Server) closeStore() {
+	if s.memoLog != nil {
+		if err := s.memoLog.Close(); err != nil {
+			s.storeErrs.Add(1)
+		}
+	}
 	if s.store == nil {
 		return
 	}
@@ -916,6 +997,20 @@ func (s *Server) closeStore() {
 		s.storeErrs.Add(1)
 	}
 }
+
+// Memo returns the server's shared baseline-cell memo (nil when
+// memoization is disabled) — the instance the memo-exchange endpoints
+// serve and the cluster's warm machinery scores against.
+func (s *Server) Memo() *sweep.Memo { return s.cfg.Memo }
+
+// MemoImported reports how many durable memo entries the boot import
+// installed — the warm-restart tests' zero-recompute witness.
+func (s *Server) MemoImported() int64 { return s.memoImported }
+
+// NotePeerMemoFetch records n memo entries pulled from warm cluster
+// peers, for /metrics. The cluster layer calls it (via the wiring in
+// cmd/greendimmd) because the fetch happens outside the server.
+func (s *Server) NotePeerMemoFetch(n int64) { s.memoPeerFetch.Add(n) }
 
 // stats is one consistent snapshot for /metrics.
 type stats struct {
@@ -934,6 +1029,15 @@ type stats struct {
 	// Durable-store accounting (store nil when disabled).
 	store     *store.Stats
 	storeErrs int64
+	// Baseline-cell memo accounting (memo nil when disabled).
+	memoEntries   int
+	memoHits      int64
+	memoComputes  int64
+	memoEvictions int64
+	memoImports   int64
+	memoPeerFetch int64
+	hasMemo       bool
+	memoLog       *store.MemoLogStats
 }
 
 func (s *Server) snapshot() stats {
@@ -963,5 +1067,18 @@ func (s *Server) snapshot() stats {
 		st.store = &ss
 	}
 	st.storeErrs = s.storeErrs.Load()
+	if m := s.cfg.Memo; m != nil {
+		st.hasMemo = true
+		st.memoEntries = m.Len()
+		st.memoHits = m.Hits()
+		st.memoComputes = m.Computes()
+		st.memoEvictions = m.Evictions()
+		st.memoImports = m.Imports()
+	}
+	st.memoPeerFetch = s.memoPeerFetch.Load()
+	if s.memoLog != nil {
+		ls := s.memoLog.Stats()
+		st.memoLog = &ls
+	}
 	return st
 }

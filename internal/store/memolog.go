@@ -1,0 +1,307 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// MemoLog is the durable side of the sweep memo: an append-only journal
+// of (key, canonical JSON value) memo entries under its own directory —
+// greendimmd uses <store-dir>/memo/ — using the same WAL + atomic-rename
+// snapshot discipline as the job journal (see the package comment), so a
+// daemon that crashed or restarted reopens the log and boots with its
+// baseline cells warm instead of recomputing them.
+//
+// The log stores opaque versioned entries; it does not decode values or
+// know key families. Verification happens above it on both sides:
+// sweep.Memo.Import runs every replayed entry through the experiment
+// codec (strict decode + re-marshal byte equality) before trusting it,
+// so a corrupt or stale log entry degrades to recomputation, never to a
+// divergent result.
+//
+// Layout in dir: wal.log (one "<crc32-hex8> <json>\n" memoWALEntry per
+// line, monotone seq) and snapshot.json ({seq, entries}). Recovery
+// matches the job journal: load snapshot, replay WAL entries with
+// higher seq, truncate the first torn or corrupt tail line.
+type MemoLog struct {
+	dir  string
+	opts MemoLogOptions
+
+	mu      sync.Mutex
+	wal     *os.File
+	seq     uint64
+	pending int
+	vals    map[string]json.RawMessage
+	order   []string // key insertion order (oldest first)
+	stats   MemoLogStats
+}
+
+// MemoLogOptions tunes a MemoLog. Zero values take defaults.
+type MemoLogOptions struct {
+	// SnapshotEvery compacts the WAL after this many appends (default
+	// 256). Every append is synced, so the interval bounds replay work,
+	// not durability.
+	SnapshotEvery int
+	// MaxEntries bounds retained entries (default 4096): at snapshot
+	// time the oldest entries beyond the bound are dropped — the disk
+	// analogue of the memo's LRU cap, and equally result-neutral.
+	MaxEntries int
+	// NoSync skips the per-append fsync — for tests that hammer the WAL.
+	NoSync bool
+}
+
+func (o MemoLogOptions) withDefaults() MemoLogOptions {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 256
+	}
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 4096
+	}
+	return o
+}
+
+// MemoLogStats is one consistent read of the log's accounting.
+type MemoLogStats struct {
+	Entries       int
+	Appends       int64
+	Snapshots     int64
+	Replayed      int64
+	TruncatedTail bool
+}
+
+// memoLogVersion is the entry format version journaled with every
+// record. Replay skips records from other versions, so a log written by
+// a future format reads as empty, not as garbage.
+const memoLogVersion = 1
+
+// memoWALEntry is one memo-log WAL record.
+type memoWALEntry struct {
+	Seq   uint64          `json:"seq"`
+	V     int             `json:"v"`
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// memoSnapshotFile is the on-disk snapshot shape.
+type memoSnapshotFile struct {
+	Seq     uint64 `json:"seq"`
+	V       int    `json:"v"`
+	Entries []Cell `json:"entries"`
+}
+
+// OpenMemoLog loads (or initializes) the memo log in dir.
+func OpenMemoLog(dir string, opts MemoLogOptions) (*MemoLog, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: memo log: %w", err)
+	}
+	l := &MemoLog{
+		dir:  dir,
+		opts: opts,
+		vals: make(map[string]json.RawMessage),
+	}
+	if err := l.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := l.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(l.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: memo log: %w", err)
+	}
+	l.wal = f
+	return l, nil
+}
+
+func (l *MemoLog) walPath() string  { return filepath.Join(l.dir, "wal.log") }
+func (l *MemoLog) snapPath() string { return filepath.Join(l.dir, "snapshot.json") }
+
+func (l *MemoLog) loadSnapshot() error {
+	b, err := os.ReadFile(l.snapPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: memo log: reading snapshot: %w", err)
+	}
+	var snap memoSnapshotFile
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("store: memo log: corrupt snapshot: %w", err)
+	}
+	l.seq = snap.Seq
+	if snap.V != memoLogVersion {
+		return nil // future or foreign format: start cold, keep the seq
+	}
+	for _, c := range snap.Entries {
+		if _, ok := l.vals[c.Key]; !ok {
+			l.vals[c.Key] = c.Value
+			l.order = append(l.order, c.Key)
+		}
+	}
+	return nil
+}
+
+func (l *MemoLog) replayWAL() error {
+	b, err := os.ReadFile(l.walPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: memo log: reading wal: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		body, ok := checkLine(b[off : off+nl])
+		if !ok {
+			break // corrupt from here on; cut the tail
+		}
+		var e memoWALEntry
+		if err := json.Unmarshal(body, &e); err != nil {
+			break
+		}
+		if e.Seq > l.seq {
+			if e.V == memoLogVersion {
+				l.apply(e.Key, e.Value)
+				l.stats.Replayed++
+			}
+			l.seq = e.Seq
+		}
+		off += nl + 1
+	}
+	if off < len(b) {
+		l.stats.TruncatedTail = true
+		if err := os.Truncate(l.walPath(), int64(off)); err != nil {
+			return fmt.Errorf("store: memo log: truncating torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply installs one entry in memory; first write of a key wins (memo
+// values are deterministic, so duplicates agree). Caller holds mu or is
+// single-threaded replay.
+func (l *MemoLog) apply(key string, value json.RawMessage) {
+	if _, ok := l.vals[key]; ok {
+		return
+	}
+	l.vals[key] = value
+	l.order = append(l.order, key)
+}
+
+// Put journals one memo entry. A key already present is skipped without
+// touching the WAL: entries are deterministic, so a duplicate carries no
+// new information and repeat sweeps must not grow the log.
+func (l *MemoLog) Put(key string, value json.RawMessage) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return fmt.Errorf("store: memo log: closed")
+	}
+	if _, ok := l.vals[key]; ok {
+		return nil
+	}
+	l.seq++
+	e := memoWALEntry{Seq: l.seq, V: memoLogVersion, Key: key, Value: compactJSON(value)}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: memo log: encoding wal entry: %w", err)
+	}
+	if _, err := l.wal.WriteString(encodeLine(body)); err != nil {
+		return fmt.Errorf("store: memo log: appending wal: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.wal.Sync(); err != nil {
+			return fmt.Errorf("store: memo log: syncing wal: %w", err)
+		}
+	}
+	l.apply(e.Key, e.Value)
+	l.stats.Appends++
+	l.pending++
+	if l.pending >= l.opts.SnapshotEvery {
+		return l.snapshot()
+	}
+	return nil
+}
+
+// snapshot writes the retained entries to snapshot.json (temp file +
+// atomic rename), pruning the oldest beyond MaxEntries first, then
+// truncates the WAL. Caller holds mu.
+func (l *MemoLog) snapshot() error {
+	if excess := len(l.order) - l.opts.MaxEntries; excess > 0 {
+		for _, k := range l.order[:excess] {
+			delete(l.vals, k)
+		}
+		l.order = append([]string(nil), l.order[excess:]...)
+	}
+	snap := memoSnapshotFile{Seq: l.seq, V: memoLogVersion}
+	for _, k := range l.order {
+		snap.Entries = append(snap.Entries, Cell{Key: k, Value: l.vals[k]})
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: memo log: encoding snapshot: %w", err)
+	}
+	tmp := l.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("store: memo log: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, l.snapPath()); err != nil {
+		return fmt.Errorf("store: memo log: publishing snapshot: %w", err)
+	}
+	if err := l.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: memo log: truncating wal: %w", err)
+	}
+	l.pending = 0
+	l.stats.Snapshots++
+	return nil
+}
+
+// Entries returns every retained entry in insertion order (oldest
+// first), so importing into an LRU-bounded memo leaves the newest
+// entries most recently used.
+func (l *MemoLog) Entries() []Cell {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Cell, 0, len(l.order))
+	for _, k := range l.order {
+		out = append(out, Cell{Key: k, Value: l.vals[k]})
+	}
+	return out
+}
+
+// Len reports the number of retained entries.
+func (l *MemoLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.vals)
+}
+
+// Stats returns one consistent read of the log's accounting.
+func (l *MemoLog) Stats() MemoLogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Entries = len(l.vals)
+	return st
+}
+
+// Close releases the WAL file handle. Further Puts fail.
+func (l *MemoLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	err := l.wal.Close()
+	l.wal = nil
+	return err
+}

@@ -296,21 +296,37 @@ func (s *Store) replayWAL() error {
 // decodeLine parses "<crc8hex> <json>" and verifies the checksum.
 func decodeLine(line []byte) (walEntry, bool) {
 	var e walEntry
-	if len(line) < 10 || line[8] != ' ' {
-		return e, false
-	}
-	var sum uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
-		return e, false
-	}
-	body := line[9:]
-	if crc32.ChecksumIEEE(body) != sum {
+	body, ok := checkLine(line)
+	if !ok {
 		return e, false
 	}
 	if err := json.Unmarshal(body, &e); err != nil {
 		return e, false
 	}
 	return e, true
+}
+
+// checkLine validates one WAL line's "<crc8hex> <json>" framing and
+// checksum, returning the JSON body. Shared by the job journal and the
+// memo log so both speak the identical on-disk record format.
+func checkLine(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return nil, false
+	}
+	body := line[9:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, false
+	}
+	return body, true
+}
+
+// encodeLine frames a JSON body as one checksummed WAL line.
+func encodeLine(body []byte) string {
+	return fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
 }
 
 // apply mutates in-memory state with one entry. Caller holds mu (or is
@@ -421,8 +437,7 @@ func (s *Store) append(e walEntry) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding wal entry: %w", err)
 	}
-	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(body), body)
-	if _, err := s.wal.WriteString(line); err != nil {
+	if _, err := s.wal.WriteString(encodeLine(body)); err != nil {
 		return fmt.Errorf("store: appending wal: %w", err)
 	}
 	if !s.opts.NoSync {

@@ -105,28 +105,100 @@ func TestMemoWaiterRecomputesAfterOthersError(t *testing.T) {
 	}
 }
 
-func TestMemoCapComputesUncached(t *testing.T) {
+func TestMemoLRUEvictsOldest(t *testing.T) {
 	m := NewMemo(2)
-	for i := 0; i < 2; i++ {
-		if _, err := m.Do(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil }); err != nil {
-			t.Fatal(err)
-		}
+	compute := func(v int) func() (any, error) {
+		return func() (any, error) { return v, nil }
 	}
-	var computes int
+	if _, err := m.Do("k0", compute(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do("k1", compute(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, err := m.Do("k0", compute(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do("k2", compute(2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || m.Evictions() != 1 {
+		t.Fatalf("Len=%d Evictions=%d, want 2 and 1", m.Len(), m.Evictions())
+	}
+	// k0 must still be resident (hit, no recompute); k1 must have been
+	// evicted (recomputes).
+	hits := m.Hits()
+	recomputed := false
+	if _, err := m.Do("k0", func() (any, error) { recomputed = true; return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if recomputed || m.Hits() != hits+1 {
+		t.Fatalf("k0 was evicted; want the recently-used key retained")
+	}
+	recomputed = false
+	if _, err := m.Do("k1", func() (any, error) { recomputed = true; return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatalf("k1 still resident; want the least-recently-used key evicted")
+	}
+}
+
+func TestMemoConcurrentDoAtCap(t *testing.T) {
+	m := NewMemo(4)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				want := (g + i) % 12
+				v, err := m.Do(key, func() (any, error) { return want, nil })
+				if err != nil || v.(int) != want {
+					t.Errorf("Do(%s) = %v, %v; want %d", key, v, err, want)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	// Every in-flight compute has settled, so residency must be back
+	// within the bound, and the accounting must cover every call.
+	if m.Len() > 4 {
+		t.Fatalf("Len = %d after quiescence, want <= cap 4", m.Len())
+	}
+	if total := m.Hits() + m.Computes(); total != 8*50 {
+		t.Fatalf("hits+computes = %d, want %d (every Do accounted)", total, 8*50)
+	}
+}
+
+func TestMemoErrorNotCachedUnderEvictionPressure(t *testing.T) {
+	m := NewMemo(1)
+	boom := errors.New("boom")
+	if _, err := m.Do("good", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 3; i++ {
-		v, err := m.Do("overflow", func() (any, error) {
-			computes++
-			return "x", nil
-		})
-		if err != nil || v.(string) != "x" {
-			t.Fatalf("overflow Do = %v, %v", v, err)
+		if _, err := m.Do("bad", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: err = %v, want boom", i, err)
 		}
 	}
-	if computes != 3 {
-		t.Fatalf("overflow key computed %d times, want 3 (uncached)", computes)
+	// The failed key must never become resident — each retry recomputes —
+	// and residency stays within cap throughout.
+	if m.Len() > 1 {
+		t.Fatalf("Len = %d, want <= 1", m.Len())
 	}
-	if m.Len() != 2 {
-		t.Fatalf("Len = %d, want 2 (cap respected)", m.Len())
+	recomputed := false
+	if v, err := m.Do("bad", func() (any, error) { recomputed = true; return 9, nil }); err != nil || v.(int) != 9 {
+		t.Fatalf("recovery Do = %v, %v", v, err)
+	}
+	if !recomputed {
+		t.Fatal("failed entry was served from cache")
 	}
 }
 

@@ -24,7 +24,9 @@ echo "==> go test -race (parallel sweep determinism)"
 # surface; exercise their tests under the race detector explicitly so a
 # narrowed "$@" (e.g. -run) can't skip them.
 GREENDIMM_QUICK=1 go test -race ./internal/sweep/
-GREENDIMM_QUICK=1 go test -race -run 'Sweep|Parallel|Determinism' \
+# -short scales down the exp determinism matrices (they self-reduce via
+# testing.Short) so this pass fits the race detector's 1-CPU budget.
+GREENDIMM_QUICK=1 go test -race -short -run 'Sweep|Parallel|Determinism' \
     ./internal/exp/ ./internal/server/
 
 echo "==> go test -race (sharded engine: shards)"
@@ -32,7 +34,7 @@ echo "==> go test -race (sharded engine: shards)"
 # goroutines; its determinism harness (synthetic lanes in internal/sim,
 # real experiments in internal/exp) must always run under the detector.
 go test -race -run 'Sharded|TieBreak|ShardBudget|LaneView|LookaheadViolation' ./internal/sim/
-GREENDIMM_QUICK=1 go test -race -run 'Sharded|ShardBudget' ./internal/exp/
+GREENDIMM_QUICK=1 go test -race -short -run 'Sharded|ShardBudget' ./internal/exp/
 
 echo "==> go test -race ./internal/cluster/ (fault injection)"
 # The cluster dispatcher's retry/hedge/failover machinery is goroutine
@@ -55,6 +57,14 @@ echo "==> go test -race (policy pipeline: trackers, policies, equivalence)"
 GREENDIMM_QUICK=1 go test -race -run 'Policy|Tracker|Hysteresis|Proactive|HeatTier|AgeThreshold|Equivalence' \
     ./internal/core/ ./internal/exp/ ./internal/server/ ./internal/cluster/
 
+echo "==> go test -race (cluster-warm memoization)"
+# The memo's exchange and placement surface: single-flight + LRU under
+# concurrent Do, WAL-backed memo-log recovery, peer key/entry fetch, and
+# warm-aware shard placement must always run under the detector. (Not
+# ./internal/exp/ — 'Memo' would match its heavy determinism matrix.)
+go test -race -run 'Memo|Warm|Predict|PickScored' \
+    ./internal/sweep/ ./internal/store/ ./internal/server/ ./internal/cluster/
+
 echo "==> go test -race ./internal/obs/ (lock-free span ring)"
 # The trace ring's atomic reservation/publication protocol is only as
 # good as its race coverage; run it under the detector unconditionally.
@@ -74,7 +84,11 @@ echo "==> go test -race ./internal/mc/ (pooled-request reuse contract)"
 go test -race -run 'Pooled|QueueRemoval' ./internal/mc/
 
 echo "==> go test -race ./..."
-go test -race "$@" ./...
+# internal/exp's full-scale determinism matrices blow the race detector's
+# budget on 1-CPU runners (hundreds of seconds); its heavy suites
+# self-scale under -short while every other package runs at full scale.
+go test -race -short -timeout 20m "$@" ./internal/exp/
+go test -race "$@" $(go list ./... | grep -v '/internal/exp$')
 
 echo "==> bench snapshot comparison"
 # With two or more BENCH_*.json snapshots present, gate the hot-path
